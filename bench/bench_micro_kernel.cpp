@@ -1,0 +1,144 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: event
+// queue throughput, DDV operations, recovery-line computation, GC pruning,
+// and a whole-simulation macro benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "config/presets.hpp"
+#include "driver/run.hpp"
+#include "proto/recovery_line.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hc3i;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  RngStream rng(1, 1);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule(SimTime{static_cast<std::int64_t>(rng.next_below(1'000'000))},
+                 [&sink] { ++sink; });
+    }
+    while (!q.empty()) q.pop().second();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1'000)->Arg(10'000)->Arg(100'000);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // The CLC timer reset pattern: schedule, cancel, reschedule.
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      const auto id = q.schedule(SimTime{i}, [&sink] { ++sink; });
+      q.cancel(id);
+      q.schedule(SimTime{i}, [&sink] { ++sink; });
+    }
+    while (!q.empty()) q.pop().second();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_DdvMergeMax(benchmark::State& state) {
+  const auto clusters = static_cast<std::size_t>(state.range(0));
+  proto::Ddv a(clusters, ClusterId{0}, 5);
+  proto::Ddv b(clusters, ClusterId{1}, 9);
+  for (std::size_t i = 0; i < clusters; ++i) {
+    b.set(ClusterId{static_cast<std::uint32_t>(i)},
+          static_cast<SeqNum>(i * 3 % 17));
+  }
+  for (auto _ : state) {
+    proto::Ddv c = a;
+    c.merge_max(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_DdvMergeMax)->Arg(2)->Arg(16)->Arg(128);
+
+std::vector<std::vector<proto::ClcMeta>> random_metas(std::size_t clusters,
+                                                      std::size_t depth,
+                                                      std::uint64_t seed) {
+  RngStream rng(seed, 0);
+  std::vector<std::vector<proto::ClcMeta>> metas(clusters);
+  std::vector<std::vector<SeqNum>> entries(clusters,
+                                           std::vector<SeqNum>(clusters, 0));
+  for (std::size_t c = 0; c < clusters; ++c) {
+    for (std::size_t sn = 1; sn <= depth; ++sn) {
+      entries[c][c] = static_cast<SeqNum>(sn);
+      for (std::size_t p = 0; p < clusters; ++p) {
+        if (p != c && rng.bernoulli(0.3)) {
+          entries[c][p] = std::min<SeqNum>(
+              static_cast<SeqNum>(depth),
+              entries[c][p] + 1);
+        }
+      }
+      proto::ClcMeta m;
+      m.sn = static_cast<SeqNum>(sn);
+      m.ddv = proto::Ddv(clusters, ClusterId{static_cast<std::uint32_t>(c)}, 0);
+      for (std::size_t p = 0; p < clusters; ++p) {
+        m.ddv.set(ClusterId{static_cast<std::uint32_t>(p)}, entries[c][p]);
+      }
+      metas[c].push_back(std::move(m));
+    }
+  }
+  return metas;
+}
+
+void BM_RecoveryLine(benchmark::State& state) {
+  const auto metas = random_metas(static_cast<std::size_t>(state.range(0)),
+                                  static_cast<std::size_t>(state.range(1)), 7);
+  for (auto _ : state) {
+    const auto line = proto::compute_recovery_line(metas, ClusterId{0});
+    benchmark::DoNotOptimize(line);
+  }
+}
+BENCHMARK(BM_RecoveryLine)->Args({2, 16})->Args({8, 64})->Args({16, 128});
+
+void BM_GcMinSns(benchmark::State& state) {
+  const auto metas = random_metas(static_cast<std::size_t>(state.range(0)),
+                                  static_cast<std::size_t>(state.range(1)), 7);
+  for (auto _ : state) {
+    const auto mins = proto::gc_min_restored_sns(metas);
+    benchmark::DoNotOptimize(mins);
+  }
+}
+BENCHMARK(BM_GcMinSns)->Args({2, 16})->Args({8, 64});
+
+void BM_WholeSimulationSmall(benchmark::State& state) {
+  for (auto _ : state) {
+    driver::RunOptions opts;
+    opts.spec = config::small_test_spec(2, 8);
+    opts.spec.application.total_time = hours(1);
+    opts.seed = 1;
+    const auto result = driver::run_simulation(opts);
+    benchmark::DoNotOptimize(result.events_executed);
+  }
+}
+BENCHMARK(BM_WholeSimulationSmall)->Unit(benchmark::kMillisecond);
+
+void BM_WholeSimulationReference(benchmark::State& state) {
+  // The paper's full 200-node, 10-hour reference scenario.
+  for (auto _ : state) {
+    driver::RunOptions opts;
+    opts.spec.topology = config::paper_reference_topology();
+    opts.spec.application = config::paper_reference_application();
+    opts.spec.timers = config::paper_reference_timers(minutes(30), minutes(30));
+    opts.seed = 1;
+    const auto result = driver::run_simulation(opts);
+    benchmark::DoNotOptimize(result.events_executed);
+  }
+}
+BENCHMARK(BM_WholeSimulationReference)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+#pragma once
+
+// Synthetic code-coupling workload (paper §2.1 application model, §5.1
+// application file).
+//
+// Each node runs the classic compute/communicate loop: draw an
+// exponentially distributed computation time (the per-cluster mean comes
+// from the application file), then send one message whose destination
+// cluster is drawn from the cluster's traffic-weight row and whose
+// destination node is uniform within that cluster.  "Processes inside the
+// same group communicate a lot while communications between processes
+// belonging to different groups are limited" — the weights encode that.
+//
+// Replay model: every decision (compute time, destination) of step i on
+// node n is a pure function of (master seed, n, i, salt).  With salt fixed
+// (kDeterministic) a restored node re-executes identically — the PWD
+// assumption the pessimistic-logging baseline needs (paper §2.2).  With
+// kDivergent the salt changes on every restore, so re-execution takes a
+// different path — demonstrating that HC3I makes no determinism assumption
+// ("Our protocol does not need any assumption upon the application
+// determinism", paper §6).
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "config/spec.hpp"
+#include "net/topology.hpp"
+#include "proto/agent.hpp"
+#include "proto/snapshot.hpp"
+#include "sim/simulation.hpp"
+#include "stats/registry.hpp"
+
+namespace hc3i::app {
+
+/// How a node behaves when re-executed after a rollback.
+enum class ReplayMode {
+  kDivergent,      ///< re-execution draws fresh randomness (no PWD)
+  kDeterministic,  ///< re-execution repeats the original run (PWD)
+};
+
+class Workload;
+
+/// One process of the code-coupling application.
+class WorkloadNode final : public proto::AppHandle {
+ public:
+  WorkloadNode(Workload& owner, NodeId self, ClusterId cluster);
+
+  /// Late-bound: the protocol agent this node sends through.
+  void bind(proto::ProtocolAgent* agent) { agent_ = agent; }
+
+  /// Begin the compute/communicate loop.
+  void start();
+
+  // AppHandle ---------------------------------------------------------------
+  proto::AppSnapshot snapshot() const override;
+  void freeze() override;
+  void restore(const proto::AppSnapshot& snap) override;
+  void deliver(const net::Envelope& env) override;
+
+  /// Completed work units.
+  std::uint64_t progress() const { return progress_; }
+  /// Messages delivered to this node (current state).
+  std::uint64_t received() const { return received_; }
+  NodeId id() const { return self_; }
+
+ private:
+  void schedule_step();
+  void on_step_done(std::uint64_t epoch);
+
+  Workload& owner_;
+  NodeId self_;
+  ClusterId cluster_;
+  proto::ProtocolAgent* agent_{nullptr};
+
+  std::uint64_t progress_{0};        ///< completed steps (part of state)
+  std::uint64_t received_{0};        ///< delivered messages (part of state)
+  SimTime virtual_work_{};           ///< accumulated compute time (state)
+  std::uint64_t salt_{0};            ///< replay salt (bumped when divergent)
+  std::uint64_t epoch_{0};           ///< invalidates stale pending events
+  std::optional<sim::EventId> pending_;
+  SimTime step_started_{};
+};
+
+/// The whole application: builds one WorkloadNode per federation node.
+class Workload {
+ public:
+  Workload(sim::Simulation& sim, const net::Topology& topo,
+           const config::ApplicationSpec& app, stats::Registry& registry,
+           ReplayMode mode = ReplayMode::kDivergent);
+
+  /// AppHandle pointers in node order (for Federation::build_agents).
+  std::vector<proto::AppHandle*> handles();
+
+  /// Bind each node to its agent (after Federation::build_agents).
+  void bind_agents(const std::function<proto::ProtocolAgent*(NodeId)>& get);
+
+  /// Start every node's loop.
+  void start();
+
+  /// Aggregate progress across all nodes.
+  std::uint64_t total_progress() const;
+  /// Aggregate deliveries (current state, i.e. after any rollbacks).
+  std::uint64_t total_received() const;
+
+  WorkloadNode& node(NodeId n);
+
+ private:
+  friend class WorkloadNode;
+
+  sim::Simulation& sim_;
+  const net::Topology& topo_;
+  config::ApplicationSpec app_;
+  stats::Registry& registry_;
+  ReplayMode mode_;
+  SimTime horizon_;
+  std::vector<std::unique_ptr<WorkloadNode>> nodes_;
+};
+
+}  // namespace hc3i::app

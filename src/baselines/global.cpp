@@ -1,0 +1,396 @@
+#include "baselines/global.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace hc3i::baselines {
+
+namespace {
+constexpr std::uint64_t kCtl = 64;
+
+template <typename T>
+const T* payload_as(const net::Envelope& env) {
+  return dynamic_cast<const T*>(env.control.get());
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GlobalRuntime
+// ---------------------------------------------------------------------------
+
+GlobalRuntime::GlobalRuntime(const config::RunSpec& spec, bool hierarchical)
+    : spec_(spec), hierarchical_(hierarchical) {
+  spec_.validate();
+  const std::size_t n = spec_.topology.cluster_count();
+  stores_.reserve(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    const std::uint32_t nodes = spec_.topology.clusters[c].nodes;
+    stores_.push_back(std::make_unique<proto::ClcStore>(
+        ClusterId{static_cast<std::uint32_t>(c)}, nodes,
+        nodes > 1 ? 1u : 0u));
+  }
+}
+
+proto::AgentFactory GlobalRuntime::factory() {
+  return [this](const proto::AgentContext& ctx) {
+    auto agent = std::make_unique<GlobalAgent>(ctx, *this);
+    agents_.push_back(agent.get());
+    return agent;
+  };
+}
+
+void GlobalRuntime::set_channel(SeqNum sn, std::vector<net::Envelope> channel) {
+  channels_[sn] = std::move(channel);
+}
+
+const std::vector<net::Envelope>& GlobalRuntime::channel(SeqNum sn) const {
+  static const std::vector<net::Envelope> kEmpty;
+  const auto it = channels_.find(sn);
+  return it == channels_.end() ? kEmpty : it->second;
+}
+
+proto::AgentFactory global_factory(GlobalRuntime& rt) { return rt.factory(); }
+
+// ---------------------------------------------------------------------------
+// GlobalAgent
+// ---------------------------------------------------------------------------
+
+GlobalAgent::GlobalAgent(const proto::AgentContext& ctx, GlobalRuntime& rt)
+    : AgentBase(ctx), rt_(rt) {}
+
+std::uint32_t GlobalAgent::local_index(NodeId n) const {
+  return n.v - ctx_.topology->first_node(ctx_.topology->cluster_of(n)).v;
+}
+
+proto::NodePart GlobalAgent::make_part() const {
+  proto::NodePart part;
+  part.app = ctx_.app->snapshot();
+  return part;
+}
+
+SimTime GlobalAgent::restore_delay() const {
+  const auto& san = rt_.spec().topology.clusters[cluster().v].san;
+  SimTime delay = san.latency;
+  if (std::isfinite(san.bytes_per_sec)) {
+    delay += from_seconds_f(
+        static_cast<double>(rt_.spec().application.state_bytes) /
+        san.bytes_per_sec);
+  }
+  return delay;
+}
+
+void GlobalAgent::start() {
+  if (!is_global_coordinator()) return;
+  // One federation-wide period: the first cluster's timer drives the runs
+  // (the paper's baselines have no per-cluster autonomy by construction).
+  const SimTime period = rt_.spec().timers.clusters[0].clc_period;
+  timer_ = std::make_unique<sim::Timer>(*ctx_.sim, period, /*periodic=*/true,
+                                        [this] { on_timer(); });
+  timer_->arm();
+  ctx_.sim->schedule_after(SimTime::zero(), [this] { begin_round(); });
+}
+
+void GlobalAgent::on_timer() {
+  if (round_active_ || rollback_pending_) return;
+  begin_round();
+}
+
+void GlobalAgent::begin_round() {
+  if (round_active_ || rollback_pending_) return;
+  round_active_ = true;
+  round_ = next_round_++;
+  round_started_ = now();
+  parts_.assign(ctx_.topology->node_count(), std::nullopt);
+  acks_received_ = 0;
+  auto req = std::make_shared<GReq>();
+  req->round = round_;
+  req->inc = inc_;
+  if (rt_.hierarchical()) {
+    // Two-level: only the cluster coordinators are contacted over the WAN;
+    // they broadcast locally ([9]'s relaxed synchronisation).
+    for (std::size_t c = 0; c < rt_.cluster_count(); ++c) {
+      send_control_or_local(
+          coordinator_of(ClusterId{static_cast<std::uint32_t>(c)}), kCtl, req);
+    }
+  } else {
+    // Flat: every node is contacted directly (WAN crossing per node).
+    for (std::uint32_t n = 0; n < ctx_.topology->node_count(); ++n) {
+      send_control_or_local(NodeId{n}, kCtl, req);
+    }
+  }
+}
+
+void GlobalAgent::handle_req(const GReq& m) {
+  if (m.inc != inc_ || rollback_pending_) return;
+  if (rt_.hierarchical() && is_cluster_coordinator() && m.round != cluster_round_) {
+    // Relay into the cluster, then take our own tentative checkpoint.
+    cluster_round_ = m.round;
+    cluster_parts_.assign(ctx_.topology->cluster_size(cluster()), std::nullopt);
+    cluster_acks_ = 0;
+    auto req = std::make_shared<GReq>();
+    req->round = m.round;
+    req->inc = inc_;
+    broadcast_control(cluster(), kCtl, std::move(req), /*include_self=*/false);
+  }
+  take_tentative(m.round);
+}
+
+void GlobalAgent::take_tentative(std::uint64_t round) {
+  if (in_round_) return;
+  in_round_ = true;
+  round_ = round;
+  tentative_ = make_part();
+  auto ack = std::make_shared<GAck>();
+  ack->round = round;
+  ack->inc = inc_;
+  ack->node = self();
+  ack->part = *tentative_;
+  const NodeId target = rt_.hierarchical() ? coordinator_of(cluster())
+                                           : NodeId{0};
+  send_control_or_local(target, kCtl, std::move(ack));
+}
+
+void GlobalAgent::handle_ack(const GAck& m) {
+  if (m.inc != inc_) return;
+  if (rt_.hierarchical()) {
+    // Node acks always aggregate at the cluster coordinator (node 0 plays
+    // both roles for cluster 0: it aggregates here and receives the
+    // resulting GClusterAck as the global coordinator).
+    if (m.round != cluster_round_) return;
+    const std::uint32_t idx = local_index(m.node);
+    if (cluster_parts_[idx].has_value()) return;
+    cluster_parts_[idx] = m.part;
+    if (++cluster_acks_ < cluster_parts_.size()) return;
+    auto cack = std::make_shared<GClusterAck>();
+    cack->round = cluster_round_;
+    cack->inc = inc_;
+    cack->cluster = cluster();
+    cack->parts.reserve(cluster_parts_.size());
+    for (auto& p : cluster_parts_) cack->parts.push_back(std::move(*p));
+    send_control_or_local(NodeId{0}, kCtl, std::move(cack));
+    return;
+  }
+  // Flat mode, at the global coordinator.
+  if (!round_active_ || m.round != round_) return;
+  if (parts_[m.node.v].has_value()) return;
+  parts_[m.node.v] = m.part;
+  if (++acks_received_ == parts_.size()) commit_round();
+}
+
+void GlobalAgent::handle_cluster_ack(const GClusterAck& m) {
+  if (m.inc != inc_ || !round_active_ || m.round != round_) return;
+  const std::uint32_t base = ctx_.topology->first_node(m.cluster).v;
+  if (parts_[base].has_value()) return;  // duplicate cluster ack
+  for (std::size_t i = 0; i < m.parts.size(); ++i) {
+    parts_[base + i] = m.parts[i];
+    ++acks_received_;
+  }
+  if (acks_received_ == parts_.size()) commit_round();
+}
+
+void GlobalAgent::commit_round() {
+  const SeqNum new_sn = sn_ + 1;
+  const std::uint64_t mark = ctx_.ledger->mark();
+  // One record per cluster, all with the global SN.
+  for (std::size_t c = 0; c < rt_.cluster_count(); ++c) {
+    const ClusterId cid{static_cast<std::uint32_t>(c)};
+    proto::ClcRecord rec;
+    rec.sn = new_sn;
+    rec.ddv = proto::Ddv(rt_.cluster_count(), cid, new_sn);
+    rec.commit_time = now();
+    rec.ledger_mark = mark;
+    rec.forced = false;
+    const std::uint32_t base = ctx_.topology->first_node(cid).v;
+    for (std::uint32_t i = 0; i < ctx_.topology->cluster_size(cid); ++i) {
+      rec.parts.push_back(std::move(*parts_[base + i]));
+    }
+    rt_.store(cid).commit(std::move(rec));
+    ctx_.registry->inc("clc.total.c" + std::to_string(c));
+    ctx_.registry->inc("clc.unforced.c" + std::to_string(c));
+  }
+  // Global channel state: every application message still in flight, plus
+  // every node's deferred arrivals.
+  std::vector<net::Envelope> channel =
+      ctx_.network->snapshot_in_flight([](const net::Envelope& e) {
+        return e.cls == net::MsgClass::kApp;
+      });
+  for (const GlobalAgent* a : rt_.agents()) {
+    channel.insert(channel.end(), a->deferred_.begin(), a->deferred_.end());
+  }
+  rt_.set_channel(new_sn, std::move(channel));
+
+  ctx_.registry->observe("global.freeze_s", (now() - round_started_).seconds());
+  round_active_ = false;
+  auto commit = std::make_shared<GCommit>();
+  commit->round = round_;
+  commit->inc = inc_;
+  commit->sn = new_sn;
+  if (rt_.hierarchical()) {
+    for (std::size_t c = 0; c < rt_.cluster_count(); ++c) {
+      send_control_or_local(
+          coordinator_of(ClusterId{static_cast<std::uint32_t>(c)}), kCtl,
+          commit);
+    }
+  } else {
+    for (std::uint32_t n = 0; n < ctx_.topology->node_count(); ++n) {
+      send_control_or_local(NodeId{n}, kCtl, commit);
+    }
+  }
+}
+
+void GlobalAgent::handle_commit(const GCommit& m) {
+  if (m.inc != inc_ || rollback_pending_) return;
+  if (rt_.hierarchical() && is_cluster_coordinator() && m.round == cluster_round_) {
+    // Relay the commit into the cluster once.
+    cluster_round_ = 0;
+    broadcast_control(cluster(), kCtl, std::make_shared<GCommit>(m),
+                      /*include_self=*/false);
+  }
+  if (!in_round_ || m.round != round_) return;
+  sn_ = m.sn;
+  in_round_ = false;
+  tentative_.reset();
+  if (is_global_coordinator() && timer_) timer_->reset();
+  auto sends = std::move(queued_sends_);
+  queued_sends_.clear();
+  for (const QueuedSend& q : sends) {
+    net::Piggyback piggy;
+    piggy.sn = sn_;
+    piggy.incarnation = inc_;
+    send_app(q.dst, q.bytes, q.app_seq, piggy);
+  }
+  auto arrivals = std::move(deferred_);
+  deferred_.clear();
+  for (const net::Envelope& env : arrivals) on_message(env);
+}
+
+void GlobalAgent::app_send(NodeId dst, std::uint64_t bytes,
+                           std::uint64_t app_seq) {
+  if (rollback_pending_) return;
+  if (in_round_) {
+    queued_sends_.push_back(QueuedSend{dst, bytes, app_seq});
+    return;
+  }
+  net::Piggyback piggy;
+  piggy.sn = sn_;
+  piggy.incarnation = inc_;
+  send_app(dst, bytes, app_seq, piggy);
+}
+
+void GlobalAgent::on_message(const net::Envelope& env) {
+  if (env.cls == net::MsgClass::kApp) {
+    // Stale pre-rollback traffic: whole-federation rollbacks undo every
+    // send newer than the restored checkpoint.
+    if (env.piggy.incarnation < inc_ && env.piggy.sn >= sn_) {
+      ctx_.registry->inc("cic.stale_dropped");
+      return;
+    }
+    if (rollback_pending_) {
+      post_rollback_stash_.push_back(env);
+      return;
+    }
+    if (in_round_) {
+      deferred_.push_back(env);
+      return;
+    }
+    deliver_app(env);
+    return;
+  }
+  if (const auto* m = payload_as<GReq>(env)) return handle_req(*m);
+  if (const auto* m = payload_as<GAck>(env)) return handle_ack(*m);
+  if (const auto* m = payload_as<GClusterAck>(env))
+    return handle_cluster_ack(*m);
+  if (const auto* m = payload_as<GCommit>(env)) return handle_commit(*m);
+  HC3I_UNREACHABLE("GlobalAgent: unknown control payload");
+}
+
+void GlobalAgent::on_failure_detected(NodeId failed) {
+  ctx_.registry->inc("rollback.faults");
+  (void)failed;
+  global_rollback(/*fault_origin=*/true, cluster());
+}
+
+void GlobalAgent::global_rollback(bool fault_origin, ClusterId fault_cluster) {
+  const Incarnation new_inc = rt_.bump_incarnation();
+  HC3I_CHECK(!rt_.store(ClusterId{0}).empty(), "no global checkpoint");
+  const SeqNum target_sn = rt_.store(ClusterId{0}).last().sn;
+  HC3I_TRACE(kProtocol, now(),
+             "GLOBAL rollback to sn=" << target_sn << " inc=" << new_inc);
+
+  // Everything in flight belongs to the undone epoch.
+  ctx_.network->drop_in_flight(
+      [](const net::Envelope& e) { return e.cls == net::MsgClass::kApp; });
+
+  for (std::size_t c = 0; c < rt_.cluster_count(); ++c) {
+    const ClusterId cid{static_cast<std::uint32_t>(c)};
+    const proto::ClcRecord& rec = rt_.store(cid).last();
+    HC3I_CHECK(rec.sn == target_sn, "global stores out of sync");
+    ctx_.ledger->undo_after(cid, rec.ledger_mark);
+    ctx_.registry->inc("rollback.count");
+    ctx_.registry->observe("rollback.depth_clcs",
+                           static_cast<double>(sn_ - rec.sn));
+    const std::uint32_t base = ctx_.topology->first_node(cid).v;
+    for (std::uint32_t i = 0; i < ctx_.topology->cluster_size(cid); ++i) {
+      rt_.agents()[base + i]->apply_rollback(rec, new_inc);
+    }
+  }
+  if (fault_origin) {
+    pending_fault_recovery_ = true;
+    pending_fault_cluster_ = fault_cluster;
+  }
+
+  // Resume all clusters after the slowest state transfer; re-inject the
+  // global channel afterwards.
+  SimTime delay = SimTime::zero();
+  for (const GlobalAgent* a : rt_.agents()) {
+    delay = std::max(delay, a->restore_delay());
+  }
+  ctx_.sim->schedule_after(delay, [this, new_inc, target_sn] {
+    if (inc_ != new_inc) return;
+    for (GlobalAgent* a : rt_.agents()) {
+      const ClusterId cid = a->cluster();
+      a->resume(rt_.store(cid).last());
+    }
+    for (const net::Envelope& env : rt_.channel(target_sn)) {
+      rt_.agents()[env.dst.v]->on_message(env);
+    }
+    if (pending_fault_recovery_) {
+      pending_fault_recovery_ = false;
+      ctx_.recovery_done(pending_fault_cluster_);
+    }
+  });
+}
+
+void GlobalAgent::apply_rollback(const proto::ClcRecord& rec,
+                                 Incarnation new_inc) {
+  const proto::AppSnapshot current = ctx_.app->snapshot();
+  const SimTime lost =
+      current.virtual_work - rec.parts[local_index(self())].app.virtual_work;
+  if (lost.ns > 0) {
+    ctx_.registry->observe("rollback.lost_work_s", lost.seconds());
+  }
+  sn_ = rec.sn;
+  inc_ = new_inc;
+  in_round_ = false;
+  tentative_.reset();
+  queued_sends_.clear();
+  deferred_.clear();
+  post_rollback_stash_.clear();
+  round_active_ = false;
+  cluster_round_ = 0;
+  if (timer_) timer_->cancel();
+  rollback_pending_ = true;
+  ctx_.app->freeze();
+}
+
+void GlobalAgent::resume(const proto::ClcRecord& rec) {
+  rollback_pending_ = false;
+  ctx_.app->restore(rec.parts[local_index(self())].app);
+  if (is_global_coordinator() && timer_) timer_->reset();
+  auto stash = std::move(post_rollback_stash_);
+  post_rollback_stash_.clear();
+  for (const net::Envelope& env : stash) on_message(env);
+}
+
+}  // namespace hc3i::baselines

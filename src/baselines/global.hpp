@@ -1,0 +1,157 @@
+#pragma once
+
+// Coordinated checkpointing across the whole federation — the strawman the
+// paper rejects in §2.2 ("The large number of nodes and network performance
+// between clusters do not allow a global synchronization") — plus the
+// two-level hierarchical-coordinated variant of Paul, Gupta & Badrinath
+// ([9] in the paper, discussed in §6).
+//
+// Flat mode: a single federation coordinator two-phase-commits a global
+// checkpoint with every node directly: each request/ack crosses the WAN per
+// node.  Hierarchical mode: the federation coordinator talks only to the
+// cluster coordinators, which run the phase locally and report one
+// aggregate ack — far fewer WAN crossings and a shorter freeze, the
+// improvement [9] claims.  Both freeze application traffic between request
+// and commit, both roll *every* cluster back to the last committed global
+// checkpoint on any failure (no dependency tracking, no logging).
+//
+// The ablation bench contrasts: freeze time per checkpoint, WAN control
+// bytes, clusters rolled back per failure, rollback depth.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "config/spec.hpp"
+#include "proto/agent_base.hpp"
+#include "proto/clc_store.hpp"
+#include "sim/timer.hpp"
+
+namespace hc3i::baselines {
+
+class GlobalAgent;
+
+/// Shared state for the coordinated-global / hierarchical-coordinated runs.
+class GlobalRuntime {
+ public:
+  /// `hierarchical` selects the two-level [9] variant.
+  GlobalRuntime(const config::RunSpec& spec, bool hierarchical);
+
+  proto::AgentFactory factory();
+
+  bool hierarchical() const { return hierarchical_; }
+  const config::RunSpec& spec() const { return spec_; }
+  std::size_t cluster_count() const { return spec_.topology.cluster_count(); }
+
+  /// Per-cluster stores of the global checkpoints (same SN everywhere).
+  proto::ClcStore& store(ClusterId c) { return *stores_[c.v]; }
+
+  /// Global channel state captured with checkpoint `sn`.
+  void set_channel(SeqNum sn, std::vector<net::Envelope> channel);
+  const std::vector<net::Envelope>& channel(SeqNum sn) const;
+
+  Incarnation incarnation() const { return inc_; }
+  Incarnation bump_incarnation() { return ++inc_; }
+
+  const std::vector<GlobalAgent*>& agents() const { return agents_; }
+
+ private:
+  friend class GlobalAgent;
+  config::RunSpec spec_;
+  bool hierarchical_;
+  std::vector<std::unique_ptr<proto::ClcStore>> stores_;
+  std::map<SeqNum, std::vector<net::Envelope>> channels_;
+  Incarnation inc_{0};
+  std::vector<GlobalAgent*> agents_;  ///< all nodes, in node order
+};
+
+/// Agent for both global-coordinated variants.
+class GlobalAgent final : public proto::AgentBase {
+ public:
+  GlobalAgent(const proto::AgentContext& ctx, GlobalRuntime& rt);
+
+  void start() override;
+  void app_send(NodeId dst, std::uint64_t bytes, std::uint64_t app_seq) override;
+  void on_message(const net::Envelope& env) override;
+  void on_failure_detected(NodeId failed) override;
+
+  SeqNum sn() const { return sn_; }
+  bool in_round() const { return in_round_; }
+
+ private:
+  struct GReq final : net::ControlPayload {
+    std::uint64_t round{0};
+    Incarnation inc{0};
+  };
+  struct GAck final : net::ControlPayload {
+    std::uint64_t round{0};
+    Incarnation inc{0};
+    NodeId node{};
+    proto::NodePart part;
+  };
+  /// Hierarchical mode: one aggregate ack per cluster.
+  struct GClusterAck final : net::ControlPayload {
+    std::uint64_t round{0};
+    Incarnation inc{0};
+    ClusterId cluster{};
+    std::vector<proto::NodePart> parts;  ///< node order within the cluster
+  };
+  struct GCommit final : net::ControlPayload {
+    std::uint64_t round{0};
+    Incarnation inc{0};
+    SeqNum sn{0};
+  };
+
+  bool is_global_coordinator() const { return self().v == 0; }
+  void on_timer();
+  void begin_round();
+  void handle_req(const GReq& m);
+  void handle_ack(const GAck& m);
+  void handle_cluster_ack(const GClusterAck& m);
+  void handle_commit(const GCommit& m);
+  void take_tentative(std::uint64_t round);
+  void commit_round();
+  void global_rollback(bool fault_origin, ClusterId fault_cluster);
+  void apply_rollback(const proto::ClcRecord& rec, Incarnation new_inc);
+  void resume(const proto::ClcRecord& rec);
+  SimTime restore_delay() const;
+  proto::NodePart make_part() const;
+  std::uint32_t local_index(NodeId n) const;
+
+  GlobalRuntime& rt_;
+  SeqNum sn_{0};
+  Incarnation inc_{0};
+  bool in_round_{false};
+  std::uint64_t round_{0};
+  std::optional<proto::NodePart> tentative_;
+  struct QueuedSend {
+    NodeId dst;
+    std::uint64_t bytes;
+    std::uint64_t app_seq;
+  };
+  std::vector<QueuedSend> queued_sends_;
+  std::vector<net::Envelope> deferred_;
+  bool rollback_pending_{false};
+  bool pending_fault_recovery_{false};
+  ClusterId pending_fault_cluster_{};
+  std::vector<net::Envelope> post_rollback_stash_;
+
+  // Global-coordinator round state (node 0 only).
+  bool round_active_{false};
+  std::uint64_t next_round_{1};
+  std::vector<std::optional<proto::NodePart>> parts_;  ///< all nodes
+  std::size_t acks_received_{0};
+  std::unique_ptr<sim::Timer> timer_;
+  SimTime round_started_{};
+
+  // Cluster-coordinator aggregation state (hierarchical mode).
+  std::vector<std::optional<proto::NodePart>> cluster_parts_;
+  std::size_t cluster_acks_{0};
+  std::uint64_t cluster_round_{0};
+};
+
+/// Build a factory; the runtime must outlive the federation.
+proto::AgentFactory global_factory(GlobalRuntime& rt);
+
+}  // namespace hc3i::baselines

@@ -1,0 +1,13 @@
+#include "baselines/independent.hpp"
+
+namespace hc3i::baselines {
+
+proto::AgentFactory independent_factory(core::Hc3iRuntime& rt) {
+  return [&rt](const proto::AgentContext& ctx) {
+    auto agent = std::make_unique<IndependentAgent>(ctx, rt);
+    rt.register_agent(ctx.cluster, agent.get());
+    return agent;
+  };
+}
+
+}  // namespace hc3i::baselines

@@ -1,0 +1,140 @@
+#include "baselines/pessimistic.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace hc3i::baselines {
+
+PessimisticRuntime::PessimisticRuntime(const config::RunSpec& spec)
+    : spec_(spec) {
+  spec_.validate();
+}
+
+proto::AgentFactory PessimisticRuntime::factory() {
+  return [this](const proto::AgentContext& ctx) {
+    auto agent = std::make_unique<PessimisticAgent>(ctx, *this);
+    agents_.push_back(agent.get());
+    return agent;
+  };
+}
+
+proto::AgentFactory pessimistic_factory(PessimisticRuntime& rt) {
+  return rt.factory();
+}
+
+PessimisticAgent::PessimisticAgent(const proto::AgentContext& ctx,
+                                   PessimisticRuntime& rt)
+    : AgentBase(ctx), rt_(rt) {}
+
+void PessimisticAgent::start() {
+  // Independent per-node checkpoints on the cluster's timer period; the
+  // initial checkpoint is the start state.
+  take_checkpoint();
+  const SimTime period = rt_.spec().timers.clusters[cluster().v].clc_period;
+  if (!period.is_infinite()) {
+    timer_ = std::make_unique<sim::Timer>(*ctx_.sim, period, /*periodic=*/true,
+                                          [this] { take_checkpoint(); });
+    timer_->arm();
+  }
+}
+
+void PessimisticAgent::take_checkpoint() {
+  checkpoint_ = ctx_.app->snapshot();
+  checkpoint_mark_ = ctx_.ledger->mark();
+  receive_log_.clear();
+  ctx_.registry->inc("clc.total.c" + std::to_string(cluster().v));
+  ctx_.registry->inc("pess.node_checkpoints");
+  // Model the stable write of the state to the ring neighbour.
+  if (ctx_.topology->cluster_size(cluster()) > 1) {
+    send_control(ctx_.topology->ring_neighbour(self()),
+                 rt_.spec().application.state_bytes,
+                 std::make_shared<LogCopy>());
+  }
+}
+
+void PessimisticAgent::app_send(NodeId dst, std::uint64_t bytes,
+                                std::uint64_t app_seq) {
+  if (rollback_pending_) return;
+  net::Piggyback piggy;  // no checkpointing metadata needed
+  send_app(dst, bytes, app_seq, piggy);
+}
+
+void PessimisticAgent::on_message(const net::Envelope& env) {
+  if (env.cls == net::MsgClass::kControl) {
+    // Channel-memory copies are sinks: modelled storage traffic only.
+    return;
+  }
+  if (rollback_pending_) {
+    post_rollback_stash_.push_back(env);
+    return;
+  }
+  if (dedup_.count(env.app_seq) > 0) {
+    // Duplicate from a re-executed sender (PWD re-sends); drop.
+    ctx_.registry->inc("pess.dup_dropped");
+    return;
+  }
+  dedup_.insert(env.app_seq);
+  receive_log_.push_back(env);
+  deliver_app(env);
+  // Pessimistic logging: the delivery is also persisted at the channel
+  // memory before the application may causally affect others.  The copy
+  // costs a full extra transfer (the MPICH-V overhead).
+  if (ctx_.topology->cluster_size(cluster()) > 1) {
+    send_control(ctx_.topology->ring_neighbour(self()), env.payload_bytes,
+                 std::make_shared<LogCopy>());
+    ctx_.registry->inc("pess.log_copies");
+  }
+}
+
+void PessimisticAgent::on_failure_detected(NodeId failed) {
+  // Only the failed node rolls back — the defining property of the
+  // message-logging family.
+  ctx_.registry->inc("rollback.faults");
+  ctx_.registry->inc("rollback.count");
+  PessimisticAgent* victim = rt_.agents()[failed.v];
+  victim->restore_failed_node();
+}
+
+void PessimisticAgent::restore_failed_node() {
+  const proto::AppSnapshot current = ctx_.app->snapshot();
+  const SimTime lost = current.virtual_work - checkpoint_.virtual_work;
+  if (lost.ns > 0) {
+    ctx_.registry->observe("rollback.lost_work_s", lost.seconds());
+  }
+  ctx_.ledger->undo_after_node(self(), checkpoint_mark_);
+  // Deliveries since the checkpoint are undone and must be replayed from
+  // the channel memory; forget them in the dedup set so the replay is not
+  // suppressed (the log itself is the replay source).
+  for (const net::Envelope& env : receive_log_) dedup_.erase(env.app_seq);
+  rollback_pending_ = true;
+  ctx_.app->freeze();
+  ctx_.registry->observe("rollback.clusters_rolled", 0.0);  // node-scope only
+
+  const auto& san = rt_.spec().topology.clusters[cluster().v].san;
+  SimTime delay = san.latency;
+  if (std::isfinite(san.bytes_per_sec)) {
+    delay += from_seconds_f(
+        static_cast<double>(rt_.spec().application.state_bytes) /
+        san.bytes_per_sec);
+  }
+  ctx_.sim->schedule_after(delay, [this] {
+    rollback_pending_ = false;
+    ctx_.app->restore(checkpoint_);
+    // Replay the logged deliveries in their original order (PWD).
+    auto log = std::move(receive_log_);
+    receive_log_.clear();
+    for (const net::Envelope& env : log) {
+      dedup_.insert(env.app_seq);
+      receive_log_.push_back(env);
+      deliver_app(env);
+      ctx_.registry->inc("pess.replayed");
+    }
+    auto stash = std::move(post_rollback_stash_);
+    post_rollback_stash_.clear();
+    for (const net::Envelope& env : stash) on_message(env);
+    ctx_.recovery_done(cluster());
+  });
+}
+
+}  // namespace hc3i::baselines

@@ -1,0 +1,89 @@
+#pragma once
+
+// Pessimistic message-logging baseline (MPICH-V-like; paper §6):
+// "All the communications are logged and can be replayed.  This avoids all
+// dependencies so that a faulty node will rollback, but not the others.
+// But this means that strong assumptions upon determinism have to be made."
+//
+// Model: every node checkpoints independently on its own timer (no 2PC, no
+// coordination); every delivered application message is also copied to a
+// stable "channel memory" (the ring neighbour — doubling delivery traffic,
+// the characteristic MPICH-V overhead).  On a failure only the failed node
+// restores its last checkpoint; its received messages since then are
+// replayed in order from the channel memory, and its sends re-execute
+// identically under the PWD assumption (the workload must run in
+// ReplayMode::kDeterministic — the driver enforces it).  Receivers
+// de-duplicate re-executed sends by app_seq.
+//
+// Caveat: recovery re-executes the victim's lost work in simulated time
+// (up to one checkpoint period), during which the rest of the federation
+// is consistently *ahead* of the victim.  A failure injected without that
+// much runway before the application horizon leaves the replay cut off,
+// so the driver stops automatic failure injection one checkpoint period
+// (plus slack) before the end of the run.
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "config/spec.hpp"
+#include "proto/agent_base.hpp"
+#include "proto/snapshot.hpp"
+#include "sim/timer.hpp"
+
+namespace hc3i::baselines {
+
+class PessimisticAgent;
+
+/// Shared bookkeeping for the pessimistic-logging run.
+class PessimisticRuntime {
+ public:
+  explicit PessimisticRuntime(const config::RunSpec& spec);
+
+  proto::AgentFactory factory();
+  const config::RunSpec& spec() const { return spec_; }
+  const std::vector<PessimisticAgent*>& agents() const { return agents_; }
+
+ private:
+  friend class PessimisticAgent;
+  config::RunSpec spec_;
+  std::vector<PessimisticAgent*> agents_;
+};
+
+/// Per-node pessimistic-logging agent.
+class PessimisticAgent final : public proto::AgentBase {
+ public:
+  PessimisticAgent(const proto::AgentContext& ctx, PessimisticRuntime& rt);
+
+  void start() override;
+  void app_send(NodeId dst, std::uint64_t bytes, std::uint64_t app_seq) override;
+  void on_message(const net::Envelope& env) override;
+  void on_failure_detected(NodeId failed) override;
+
+  /// Messages in this node's replay log (since its last checkpoint).
+  std::size_t receive_log_size() const { return receive_log_.size(); }
+
+ private:
+  /// Copy of a delivered message persisted at the channel memory.
+  struct LogCopy final : net::ControlPayload {
+    // Only the modelled bytes matter; the original stays at the receiver.
+  };
+
+  void take_checkpoint();
+  void restore_failed_node();
+
+  PessimisticRuntime& rt_;
+  proto::AppSnapshot checkpoint_;
+  std::uint64_t checkpoint_mark_{0};
+  std::vector<net::Envelope> receive_log_;  ///< deliveries since checkpoint
+  std::set<std::uint64_t> dedup_;           ///< all-time delivered app_seqs
+  bool rollback_pending_{false};
+  std::vector<net::Envelope> post_rollback_stash_;
+  std::unique_ptr<sim::Timer> timer_;
+};
+
+/// Build a factory; the runtime must outlive the federation.
+proto::AgentFactory pessimistic_factory(PessimisticRuntime& rt);
+
+}  // namespace hc3i::baselines

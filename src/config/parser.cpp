@@ -1,0 +1,273 @@
+#include "config/parser.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/quantity.hpp"
+
+namespace hc3i::config {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& origin, int line,
+                       const std::string& msg) {
+  throw ParseError(origin + ":" + std::to_string(line) + ": " + msg);
+}
+
+std::string trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return std::string(s);
+}
+
+std::vector<std::string> split_tokens(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+/// Look up a required key in a section.
+const std::string& need(const Section& sec, const std::string& key,
+                        const std::string& origin) {
+  const auto it = sec.values.find(key);
+  if (it == sec.values.end()) {
+    fail(origin, sec.line, "section [" + sec.name + "] missing key '" + key + "'");
+  }
+  return it->second;
+}
+
+SimTime need_duration(const Section& sec, const std::string& key,
+                      const std::string& origin) {
+  const auto v = parse_duration(need(sec, key, origin));
+  if (!v) fail(origin, sec.line, "bad duration for '" + key + "'");
+  return *v;
+}
+
+double need_bandwidth(const Section& sec, const std::string& key,
+                      const std::string& origin) {
+  const auto v = parse_bandwidth(need(sec, key, origin));
+  if (!v) fail(origin, sec.line, "bad bandwidth for '" + key + "'");
+  return *v;
+}
+
+std::uint64_t need_uint(const Section& sec, const std::string& key,
+                        const std::string& origin) {
+  const auto v = parse_uint(need(sec, key, origin));
+  if (!v) fail(origin, sec.line, "bad integer for '" + key + "'");
+  return *v;
+}
+
+std::uint64_t need_bytes(const Section& sec, const std::string& key,
+                         const std::string& origin) {
+  const auto v = parse_bytes(need(sec, key, origin));
+  if (!v) fail(origin, sec.line, "bad byte size for '" + key + "'");
+  return *v;
+}
+
+std::size_t cluster_index_arg(const Section& sec, const TopologySpec& topo,
+                              const std::string& origin) {
+  if (sec.args.size() != 1) {
+    fail(origin, sec.line, "[" + sec.name + "] needs one cluster index");
+  }
+  const auto idx = parse_uint(sec.args[0]);
+  if (!idx || *idx >= topo.cluster_count()) {
+    fail(origin, sec.line, "cluster index out of range: " + sec.args[0]);
+  }
+  return static_cast<std::size_t>(*idx);
+}
+
+}  // namespace
+
+std::vector<Section> parse_sections(std::string_view text,
+                                    const std::string& origin) {
+  std::vector<Section> sections;
+  int line_no = 0;
+  std::istringstream is{std::string(text)};
+  std::string raw;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    // Strip comments (# to end of line) and whitespace.
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') fail(origin, line_no, "unterminated [section]");
+      auto tokens = split_tokens(line.substr(1, line.size() - 2));
+      if (tokens.empty()) fail(origin, line_no, "empty section header");
+      Section sec;
+      sec.name = tokens.front();
+      sec.args.assign(tokens.begin() + 1, tokens.end());
+      sec.line = line_no;
+      sections.push_back(std::move(sec));
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      fail(origin, line_no, "expected 'key = value': " + line);
+    }
+    if (sections.empty()) {
+      fail(origin, line_no, "key/value outside any [section]");
+    }
+    const std::string key = trim(std::string_view(line).substr(0, eq));
+    const std::string value = trim(std::string_view(line).substr(eq + 1));
+    if (key.empty()) fail(origin, line_no, "empty key");
+    auto [_, inserted] = sections.back().values.emplace(key, value);
+    if (!inserted) {
+      fail(origin, line_no,
+           "duplicate key '" + key + "' in [" + sections.back().name + "]");
+    }
+  }
+  return sections;
+}
+
+TopologySpec parse_topology(std::string_view text, const std::string& origin) {
+  TopologySpec topo;
+  const auto sections = parse_sections(text, origin);
+  std::size_t n_clusters = 0;
+  // Pass 1: the [federation] section fixes the cluster count.
+  for (const auto& sec : sections) {
+    if (sec.name == "federation") {
+      n_clusters = static_cast<std::size_t>(need_uint(sec, "clusters", origin));
+      if (n_clusters == 0) fail(origin, sec.line, "clusters must be >= 1");
+      if (sec.values.count("mtbf")) {
+        const auto v = parse_duration(sec.values.at("mtbf"));
+        if (!v) fail(origin, sec.line, "bad duration for 'mtbf'");
+        topo.mtbf = *v;
+      }
+    }
+  }
+  if (n_clusters == 0) {
+    throw ParseError(origin + ": missing [federation] section");
+  }
+  topo.clusters.resize(n_clusters);
+  topo.inter.assign(n_clusters, std::vector<LinkSpec>(n_clusters));
+  std::vector<bool> seen_cluster(n_clusters, false);
+  // Pass 2: clusters and links.
+  for (const auto& sec : sections) {
+    if (sec.name == "federation") continue;
+    if (sec.name == "cluster") {
+      const std::size_t i = cluster_index_arg(sec, topo, origin);
+      seen_cluster[i] = true;
+      auto& c = topo.clusters[i];
+      c.nodes = static_cast<std::uint32_t>(need_uint(sec, "nodes", origin));
+      c.san.latency = need_duration(sec, "latency", origin);
+      c.san.bytes_per_sec = need_bandwidth(sec, "bandwidth", origin);
+    } else if (sec.name == "link") {
+      if (sec.args.size() != 2) {
+        fail(origin, sec.line, "[link] needs two cluster indices");
+      }
+      const auto a = parse_uint(sec.args[0]);
+      const auto b = parse_uint(sec.args[1]);
+      if (!a || !b || *a >= n_clusters || *b >= n_clusters || *a == *b) {
+        fail(origin, sec.line, "bad [link] cluster indices");
+      }
+      LinkSpec link;
+      link.latency = need_duration(sec, "latency", origin);
+      link.bytes_per_sec = need_bandwidth(sec, "bandwidth", origin);
+      topo.inter[*a][*b] = link;
+      topo.inter[*b][*a] = link;
+    } else {
+      fail(origin, sec.line, "unknown section [" + sec.name + "] in topology");
+    }
+  }
+  for (std::size_t i = 0; i < n_clusters; ++i) {
+    if (!seen_cluster[i]) {
+      throw ParseError(origin + ": missing [cluster " + std::to_string(i) + "]");
+    }
+  }
+  topo.validate();
+  return topo;
+}
+
+ApplicationSpec parse_application(std::string_view text,
+                                  const TopologySpec& topo,
+                                  const std::string& origin) {
+  ApplicationSpec app;
+  const std::size_t n = topo.cluster_count();
+  app.clusters.resize(n);
+  for (auto& c : app.clusters) c.traffic.assign(n, 0.0);
+  const auto sections = parse_sections(text, origin);
+  bool saw_app = false;
+  for (const auto& sec : sections) {
+    if (sec.name == "application") {
+      saw_app = true;
+      app.total_time = need_duration(sec, "total_time", origin);
+      if (sec.values.count("state_size")) {
+        app.state_bytes = need_bytes(sec, "state_size", origin);
+      }
+    } else if (sec.name == "cluster") {
+      const std::size_t i = cluster_index_arg(sec, topo, origin);
+      auto& c = app.clusters[i];
+      c.mean_compute = need_duration(sec, "mean_compute", origin);
+      if (sec.values.count("message_size")) {
+        c.message_bytes = need_bytes(sec, "message_size", origin);
+      }
+    } else if (sec.name == "traffic") {
+      const std::size_t i = cluster_index_arg(sec, topo, origin);
+      for (const auto& [key, value] : sec.values) {
+        const auto j = parse_uint(key);
+        if (!j || *j >= n) fail(origin, sec.line, "bad traffic column: " + key);
+        const auto w = parse_double(value);
+        if (!w || *w < 0) fail(origin, sec.line, "bad traffic weight: " + value);
+        app.clusters[i].traffic[static_cast<std::size_t>(*j)] = *w;
+      }
+    } else {
+      fail(origin, sec.line, "unknown section [" + sec.name + "] in application");
+    }
+  }
+  if (!saw_app) throw ParseError(origin + ": missing [application] section");
+  app.validate(topo);
+  return app;
+}
+
+TimersSpec parse_timers(std::string_view text, const TopologySpec& topo,
+                        const std::string& origin) {
+  TimersSpec timers;
+  timers.clusters.resize(topo.cluster_count());
+  const auto sections = parse_sections(text, origin);
+  for (const auto& sec : sections) {
+    if (sec.name == "timers") {
+      if (sec.values.count("gc_period")) {
+        timers.gc_period = need_duration(sec, "gc_period", origin);
+      }
+      if (sec.values.count("detection_delay")) {
+        timers.detection_delay = need_duration(sec, "detection_delay", origin);
+      }
+    } else if (sec.name == "cluster") {
+      const std::size_t i = cluster_index_arg(sec, topo, origin);
+      timers.clusters[i].clc_period = need_duration(sec, "clc_period", origin);
+    } else {
+      fail(origin, sec.line, "unknown section [" + sec.name + "] in timers");
+    }
+  }
+  timers.validate(topo);
+  return timers;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+RunSpec load_run_spec(const std::string& topology_path,
+                      const std::string& application_path,
+                      const std::string& timers_path) {
+  RunSpec spec;
+  spec.topology = parse_topology(read_file(topology_path), topology_path);
+  spec.application = parse_application(read_file(application_path),
+                                       spec.topology, application_path);
+  spec.timers =
+      parse_timers(read_file(timers_path), spec.topology, timers_path);
+  spec.validate();
+  return spec;
+}
+
+}  // namespace hc3i::config

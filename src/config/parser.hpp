@@ -1,0 +1,77 @@
+#pragma once
+
+// Text format for the three configuration files.
+//
+// A small INI-style dialect:
+//
+//   # comment
+//   [section possibly with args]
+//   key = value
+//
+// Topology file:
+//   [federation]          clusters = 2      mtbf = 100h
+//   [cluster 0]           nodes = 100       latency = 10us   bandwidth = 80Mb/s
+//   [link 0 1]            latency = 150us   bandwidth = 100Mb/s
+//
+// Application file:
+//   [application]         total_time = 10h  state_size = 8MB
+//   [cluster 0]           mean_compute = 2min   message_size = 10KB
+//   [traffic 0]           0 = 0.95   1 = 0.05       # destination weights
+//
+// Timers file:
+//   [timers]              gc_period = 2h    detection_delay = 100ms
+//   [cluster 0]           clc_period = 30min
+//
+// parse_* functions throw ParseError with file/line context on any problem.
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/spec.hpp"
+
+namespace hc3i::config {
+
+/// Thrown on malformed configuration text.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One parsed [section]: its arguments and key/value pairs.
+struct Section {
+  std::string name;                ///< first token inside the brackets
+  std::vector<std::string> args;   ///< remaining tokens inside the brackets
+  std::map<std::string, std::string> values;
+  int line{0};                     ///< line number of the [section] header
+};
+
+/// Parse the generic INI dialect. `origin` names the source in errors.
+std::vector<Section> parse_sections(std::string_view text,
+                                    const std::string& origin);
+
+/// Parse a topology file (text form).
+TopologySpec parse_topology(std::string_view text,
+                            const std::string& origin = "<topology>");
+
+/// Parse an application file; requires the topology for cross-validation.
+ApplicationSpec parse_application(std::string_view text,
+                                  const TopologySpec& topo,
+                                  const std::string& origin = "<application>");
+
+/// Parse a timers file; requires the topology for cross-validation.
+TimersSpec parse_timers(std::string_view text, const TopologySpec& topo,
+                        const std::string& origin = "<timers>");
+
+/// Load all three files from disk and validate the combination.
+RunSpec load_run_spec(const std::string& topology_path,
+                      const std::string& application_path,
+                      const std::string& timers_path);
+
+/// Read a whole file; throws ParseError if unreadable.
+std::string read_file(const std::string& path);
+
+}  // namespace hc3i::config

@@ -1,0 +1,146 @@
+#include "config/presets.hpp"
+
+namespace hc3i::config {
+
+namespace {
+
+/// Myrinet-like SAN (paper §5.2): 10 us latency, 80 Mb/s.
+LinkSpec myrinet_like() {
+  return LinkSpec{microseconds(10), 80e6 / 8.0};
+}
+
+/// Ethernet-like inter-cluster link (paper §5.2): 150 us, 100 Mb/s.
+LinkSpec ethernet_like() {
+  return LinkSpec{microseconds(150), 100e6 / 8.0};
+}
+
+/// Mean compute time so that `nodes` nodes emit `sends` messages in
+/// `total`: each node alternates Exp(mean) compute and one send.
+SimTime mean_compute_for(double sends, std::uint32_t nodes, SimTime total) {
+  const double per_node = sends / static_cast<double>(nodes);
+  return from_seconds_f(total.seconds() / per_node);
+}
+
+}  // namespace
+
+TopologySpec paper_reference_topology() {
+  TopologySpec topo;
+  topo.clusters = {ClusterSpec{100, myrinet_like()},
+                   ClusterSpec{100, myrinet_like()}};
+  topo.inter.assign(2, std::vector<LinkSpec>(2));
+  topo.inter[0][1] = topo.inter[1][0] = ethernet_like();
+  topo.mtbf = SimTime::infinity();
+  return topo;
+}
+
+ApplicationSpec paper_reference_application(double messages_1_to_0) {
+  ApplicationSpec app;
+  app.total_time = hours(10);
+  app.state_bytes = 8ull * 1024 * 1024;
+  app.clusters.resize(2);
+
+  // Cluster 0 ("simulation"): 2920 intra + 145 -> cluster 1 (Table 1).
+  auto& c0 = app.clusters[0];
+  c0.mean_compute = mean_compute_for(2920.0 + 145.0, 100, app.total_time);
+  c0.message_bytes = 10 * 1024;
+  c0.traffic = {2920.0, 145.0};
+
+  // Cluster 1 ("trace processor"): 2497 intra + `messages_1_to_0` -> 0.
+  auto& c1 = app.clusters[1];
+  c1.mean_compute =
+      mean_compute_for(2497.0 + messages_1_to_0, 100, app.total_time);
+  c1.message_bytes = 10 * 1024;
+  c1.traffic = {messages_1_to_0, 2497.0};
+  return app;
+}
+
+TimersSpec paper_reference_timers(SimTime timer0, SimTime timer1,
+                                  SimTime gc_period) {
+  TimersSpec timers;
+  timers.clusters = {ClusterTimerSpec{timer0}, ClusterTimerSpec{timer1}};
+  timers.gc_period = gc_period;
+  timers.detection_delay = milliseconds(100);
+  return timers;
+}
+
+TopologySpec paper_three_cluster_topology() {
+  TopologySpec topo;
+  topo.clusters = {ClusterSpec{100, myrinet_like()},
+                   ClusterSpec{100, myrinet_like()},
+                   ClusterSpec{100, myrinet_like()}};
+  topo.inter.assign(3, std::vector<LinkSpec>(3));
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = i + 1; j < 3; ++j) {
+      topo.inter[i][j] = topo.inter[j][i] = ethernet_like();
+    }
+  }
+  topo.mtbf = SimTime::infinity();
+  return topo;
+}
+
+ApplicationSpec paper_three_cluster_application() {
+  // Paper §5.4: clusters 0 and 1 keep the reference configuration, cluster 2
+  // clones cluster 1, and "approximately 200 messages leave and arrive in
+  // each cluster": each cluster sends ~100 to each of the other two.
+  ApplicationSpec app;
+  app.total_time = hours(10);
+  app.state_bytes = 8ull * 1024 * 1024;
+  app.clusters.resize(3);
+
+  auto& c0 = app.clusters[0];
+  c0.mean_compute = mean_compute_for(2920.0 + 200.0, 100, app.total_time);
+  c0.message_bytes = 10 * 1024;
+  c0.traffic = {2920.0, 100.0, 100.0};
+
+  for (std::size_t i : {std::size_t{1}, std::size_t{2}}) {
+    auto& c = app.clusters[i];
+    c.mean_compute = mean_compute_for(2497.0 + 200.0, 100, app.total_time);
+    c.message_bytes = 10 * 1024;
+    c.traffic.assign(3, 100.0);
+    c.traffic[i] = 2497.0;
+  }
+  return app;
+}
+
+TimersSpec paper_three_cluster_timers(SimTime gc_period) {
+  TimersSpec timers;
+  timers.clusters.assign(3, ClusterTimerSpec{minutes(30)});
+  timers.gc_period = gc_period;
+  timers.detection_delay = milliseconds(100);
+  return timers;
+}
+
+RunSpec small_test_spec(std::size_t clusters, std::uint32_t nodes) {
+  RunSpec spec;
+  auto& topo = spec.topology;
+  topo.clusters.assign(clusters, ClusterSpec{nodes, myrinet_like()});
+  topo.inter.assign(clusters, std::vector<LinkSpec>(clusters));
+  for (std::size_t i = 0; i < clusters; ++i) {
+    for (std::size_t j = 0; j < clusters; ++j) {
+      if (i != j) topo.inter[i][j] = ethernet_like();
+    }
+  }
+  topo.mtbf = SimTime::infinity();
+
+  auto& app = spec.application;
+  app.total_time = minutes(30);
+  app.state_bytes = 64 * 1024;
+  app.clusters.resize(clusters);
+  for (auto& c : app.clusters) {
+    c.mean_compute = seconds(20);
+    c.message_bytes = 4 * 1024;
+    // Mostly intra-cluster traffic with a steady inter-cluster trickle.
+    c.traffic.assign(clusters, clusters > 1 ? 0.1 : 0.0);
+  }
+  for (std::size_t i = 0; i < clusters; ++i) {
+    app.clusters[i].traffic[i] = 0.9;
+  }
+
+  auto& timers = spec.timers;
+  timers.clusters.assign(clusters, ClusterTimerSpec{minutes(5)});
+  timers.gc_period = SimTime::infinity();
+  timers.detection_delay = milliseconds(50);
+  return spec;
+}
+
+}  // namespace hc3i::config

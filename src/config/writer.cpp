@@ -1,0 +1,128 @@
+#include "config/writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hc3i::config {
+
+std::string duration_text(SimTime t) {
+  if (t.is_infinite()) return "inf";
+  const std::int64_t ns = t.ns;
+  char buf[64];
+  // Choose the largest unit that represents the value exactly.
+  if (ns % 3'600'000'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldh",
+                  static_cast<long long>(ns / 3'600'000'000'000));
+  } else if (ns % 60'000'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldmin",
+                  static_cast<long long>(ns / 60'000'000'000));
+  } else if (ns % 1'000'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%llds",
+                  static_cast<long long>(ns / 1'000'000'000));
+  } else if (ns % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldms",
+                  static_cast<long long>(ns / 1'000'000));
+  } else if (ns % 1'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(ns / 1'000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+std::string bandwidth_text(double bytes_per_sec) {
+  const double bits = bytes_per_sec * 8.0;
+  char buf[64];
+  if (bits >= 1e9 && std::fmod(bits, 1e9) == 0.0) {
+    std::snprintf(buf, sizeof buf, "%.0fGb/s", bits / 1e9);
+  } else if (bits >= 1e6 && std::fmod(bits, 1e6) == 0.0) {
+    std::snprintf(buf, sizeof buf, "%.0fMb/s", bits / 1e6);
+  } else if (bits >= 1e3 && std::fmod(bits, 1e3) == 0.0) {
+    std::snprintf(buf, sizeof buf, "%.0fKb/s", bits / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fb/s", bits);
+  }
+  return buf;
+}
+
+std::string bytes_text(std::uint64_t bytes) {
+  char buf[64];
+  const std::uint64_t kb = 1024, mb = kb * 1024, gb = mb * 1024;
+  if (bytes >= gb && bytes % gb == 0) {
+    std::snprintf(buf, sizeof buf, "%lluGB",
+                  static_cast<unsigned long long>(bytes / gb));
+  } else if (bytes >= mb && bytes % mb == 0) {
+    std::snprintf(buf, sizeof buf, "%lluMB",
+                  static_cast<unsigned long long>(bytes / mb));
+  } else if (bytes >= kb && bytes % kb == 0) {
+    std::snprintf(buf, sizeof buf, "%lluKB",
+                  static_cast<unsigned long long>(bytes / kb));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string write_topology(const TopologySpec& topo) {
+  std::ostringstream os;
+  os << "# HC3I topology file\n";
+  os << "[federation]\n";
+  os << "clusters = " << topo.cluster_count() << "\n";
+  os << "mtbf = " << duration_text(topo.mtbf) << "\n";
+  for (std::size_t i = 0; i < topo.cluster_count(); ++i) {
+    const auto& c = topo.clusters[i];
+    os << "\n[cluster " << i << "]\n";
+    os << "nodes = " << c.nodes << "\n";
+    os << "latency = " << duration_text(c.san.latency) << "\n";
+    os << "bandwidth = " << bandwidth_text(c.san.bytes_per_sec) << "\n";
+  }
+  // Triangular matrix of inter-cluster links (paper §5.1).
+  for (std::size_t i = 0; i < topo.cluster_count(); ++i) {
+    for (std::size_t j = i + 1; j < topo.cluster_count(); ++j) {
+      const auto& l = topo.inter[i][j];
+      os << "\n[link " << i << " " << j << "]\n";
+      os << "latency = " << duration_text(l.latency) << "\n";
+      os << "bandwidth = " << bandwidth_text(l.bytes_per_sec) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string write_application(const ApplicationSpec& app) {
+  std::ostringstream os;
+  os << "# HC3I application file\n";
+  os << "[application]\n";
+  os << "total_time = " << duration_text(app.total_time) << "\n";
+  os << "state_size = " << bytes_text(app.state_bytes) << "\n";
+  for (std::size_t i = 0; i < app.clusters.size(); ++i) {
+    const auto& c = app.clusters[i];
+    os << "\n[cluster " << i << "]\n";
+    os << "mean_compute = " << duration_text(c.mean_compute) << "\n";
+    os << "message_size = " << bytes_text(c.message_bytes) << "\n";
+    os << "\n[traffic " << i << "]\n";
+    for (std::size_t j = 0; j < c.traffic.size(); ++j) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.17g", c.traffic[j]);
+      os << j << " = " << buf << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string write_timers(const TimersSpec& timers) {
+  std::ostringstream os;
+  os << "# HC3I timers file\n";
+  os << "[timers]\n";
+  os << "gc_period = " << duration_text(timers.gc_period) << "\n";
+  os << "detection_delay = " << duration_text(timers.detection_delay) << "\n";
+  for (std::size_t i = 0; i < timers.clusters.size(); ++i) {
+    os << "\n[cluster " << i << "]\n";
+    os << "clc_period = " << duration_text(timers.clusters[i].clc_period)
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hc3i::config

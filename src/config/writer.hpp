@@ -1,0 +1,33 @@
+#pragma once
+
+// Serialisation of configuration specs back to the text formats accepted by
+// config/parser.hpp.  Round-tripping (write -> parse -> compare) is covered
+// by tests; the example binaries use the writer to emit ready-to-edit
+// configuration files for users.
+
+#include <string>
+
+#include "config/spec.hpp"
+
+namespace hc3i::config {
+
+/// Render a topology file.
+std::string write_topology(const TopologySpec& topo);
+
+/// Render an application file.
+std::string write_application(const ApplicationSpec& app);
+
+/// Render a timers file.
+std::string write_timers(const TimersSpec& timers);
+
+/// Render a duration in the most compact exact unit ("30min", "150us",
+/// "inf"). Output is re-parseable by parse_duration.
+std::string duration_text(SimTime t);
+
+/// Render a bandwidth ("80Mb/s"); re-parseable by parse_bandwidth.
+std::string bandwidth_text(double bytes_per_sec);
+
+/// Render a byte size ("8MB"); re-parseable by parse_bytes.
+std::string bytes_text(std::uint64_t bytes);
+
+}  // namespace hc3i::config

@@ -1,0 +1,109 @@
+#include "driver/report.hpp"
+
+#include <sstream>
+
+#include "stats/table.hpp"
+#include "util/quantity.hpp"
+
+namespace hc3i::driver {
+
+std::string render_report(const RunResult& result, std::size_t clusters) {
+  std::ostringstream os;
+
+  os << "== application messages (Table-1-style census) ==\n";
+  {
+    std::vector<std::string> headers{"from \\ to"};
+    for (std::size_t j = 0; j < clusters; ++j) {
+      headers.push_back("C" + std::to_string(j));
+    }
+    stats::Table t(headers);
+    for (std::size_t i = 0; i < clusters; ++i) {
+      t.row().cell("C" + std::to_string(i));
+      for (std::size_t j = 0; j < clusters; ++j) {
+        t.cell(result.app_messages(ClusterId{static_cast<std::uint32_t>(i)},
+                                   ClusterId{static_cast<std::uint32_t>(j)}));
+      }
+    }
+    os << t.to_ascii();
+  }
+
+  os << "\n== cluster-level checkpoints ==\n";
+  {
+    stats::Table t({"cluster", "total", "forced", "unforced", "retained",
+                    "max stored", "max storage"});
+    for (std::size_t c = 0; c < clusters; ++c) {
+      const ClusterId cid{static_cast<std::uint32_t>(c)};
+      const std::string suffix = ".c" + std::to_string(c);
+      t.row()
+          .cell("C" + std::to_string(c))
+          .cell(result.clc_total(cid))
+          .cell(result.clc_forced(cid))
+          .cell(result.clc_unforced(cid))
+          .cell(result.counter("store.final_clcs" + suffix))
+          .cell(result.counter("store.max_clcs" + suffix))
+          .cell(format_bytes(result.counter("store.max_bytes" + suffix)));
+    }
+    os << t.to_ascii();
+  }
+
+  os << "\n== protocol traffic ==\n";
+  {
+    stats::Table t({"class", "messages", "bytes"});
+    for (const char* key : {"app.intra", "app.inter", "ctl.intra", "ctl.inter"}) {
+      const std::string base = std::string("net.") + key;
+      t.row().cell(std::string(key))
+          .cell(result.counter(base + ".msgs"))
+          .cell(format_bytes(result.counter(base + ".bytes")));
+    }
+    os << t.to_ascii();
+  }
+
+  os << "\n== fault tolerance ==\n";
+  os << "failures injected        : " << result.counter("fault.injected") << "\n";
+  os << "cluster rollbacks        : " << result.counter("rollback.count") << "\n";
+  os << "rollback alerts          : " << result.counter("rollback.alerts") << "\n";
+  os << "logged messages re-sent  : " << result.counter("log.resent_msgs") << "\n";
+  os << "stale messages discarded : " << result.counter("cic.stale_dropped") << "\n";
+  os << "duplicates suppressed    : " << result.counter("cic.dup_dropped") << "\n";
+  const auto& lost = result.registry.summary("rollback.lost_work_s");
+  os << "work lost to rollbacks   : " << lost.sum() << " node-seconds over "
+     << lost.count() << " node restores\n";
+  os << "GC rounds                : " << result.counter("gc.rounds")
+     << " (aborted: " << result.counter("gc.aborted") << ")\n";
+
+  if (!result.gc_events.empty()) {
+    os << "\n== garbage collection (stored CLCs before -> after) ==\n";
+    for (const auto& ev : result.gc_events) {
+      os << "  [" << to_string(ev.time) << "] C" << ev.cluster.v << ": "
+         << ev.clcs_before << " -> " << ev.clcs_after << "\n";
+    }
+  }
+
+  os << "\n== consistency ==\n";
+  os << "ledger events            : " << result.counter("ledger.total_events")
+     << " (undone by rollbacks: " << result.counter("ledger.undone_events")
+     << ")\n";
+  if (result.violations.empty()) {
+    os << "verdict                  : CONSISTENT (no ghost, duplicate or "
+          "lost messages)\n";
+  } else {
+    os << "verdict                  : " << result.violations.size()
+       << " VIOLATIONS\n";
+    for (const auto& v : result.violations) os << "  - " << v << "\n";
+  }
+
+  os << "\nsimulated time " << to_string(result.end_time) << ", "
+     << result.events_executed << " events executed\n";
+  return os.str();
+}
+
+std::string render_counters_csv(const RunResult& result) {
+  std::ostringstream os;
+  os << "counter,value\n";
+  for (const auto& name : result.registry.counter_names()) {
+    os << name << "," << result.registry.get(name) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hc3i::driver

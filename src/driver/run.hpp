@@ -1,0 +1,91 @@
+#pragma once
+
+// One-call simulation driver.
+//
+// run_simulation() assembles the full stack (simulation kernel, topology,
+// network, federation, protocol agents, workload), runs the configured
+// scenario to its horizon plus a drain window, audits the consistency
+// ledger, and returns every statistic the benches and tests consume.
+// This is the paper's "Controller" thread (§5.1) in library form.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "config/spec.hpp"
+#include "app/workload.hpp"
+#include "hc3i/options.hpp"
+#include "hc3i/runtime.hpp"
+#include "stats/registry.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace hc3i::driver {
+
+/// Which checkpointing protocol to run.
+enum class ProtocolKind {
+  kHc3i,                     ///< the paper's protocol
+  kIndependent,              ///< HC3I minus forcing (domino-prone baseline)
+  kCoordinatedGlobal,        ///< federation-wide 2PC (paper §2.2 strawman)
+  kPessimisticLog,           ///< MPICH-V-like message logging (paper §6)
+  kHierarchicalCoordinated,  ///< two-level coordinated (paper §6, ref [9])
+};
+
+/// Human-readable protocol name.
+std::string to_string(ProtocolKind kind);
+
+/// A failure to inject at a fixed simulated time.
+struct ScriptedFailure {
+  SimTime at{};
+  NodeId victim{};
+};
+
+/// Everything that defines one simulation run.
+struct RunOptions {
+  config::RunSpec spec;
+  std::uint64_t seed{1};
+  ProtocolKind protocol{ProtocolKind::kHc3i};
+  core::Hc3iOptions hc3i{};
+  /// Inject random failures per the topology MTBF.
+  bool auto_failures{false};
+  /// Deterministic failure script (used by tests and the recovery benches).
+  std::vector<ScriptedFailure> scripted_failures;
+  /// Extra simulated time after the application horizon for messages,
+  /// forced CLCs and recoveries to settle before strict validation.
+  SimTime drain{minutes(5)};
+  app::ReplayMode replay{app::ReplayMode::kDivergent};
+  /// Throw CheckFailure on any consistency violation (tests rely on it);
+  /// when false, violations are only reported in the result.
+  bool validate{true};
+};
+
+/// Everything a run produces.
+struct RunResult {
+  stats::Registry registry;
+  std::vector<core::GcEvent> gc_events;
+  std::vector<std::string> violations;
+  SimTime end_time{};
+  std::uint64_t events_executed{0};
+  std::uint64_t total_progress{0};
+  std::uint64_t total_received{0};
+
+  /// Committed forced CLCs of a cluster (excluding the initial CLC).
+  std::uint64_t clc_forced(ClusterId c) const;
+  /// Committed unforced (timer) CLCs of a cluster (excluding initial).
+  std::uint64_t clc_unforced(ClusterId c) const;
+  /// All committed CLCs of a cluster (including the initial one).
+  std::uint64_t clc_total(ClusterId c) const;
+  /// Application messages sent from cluster `from` to cluster `to`
+  /// (the Table 1 census; excludes protocol re-sends' duplicates only in
+  /// the sense that re-sends are counted as traffic, as they are on a wire).
+  std::uint64_t app_messages(ClusterId from, ClusterId to) const;
+  /// Named counter shorthand.
+  std::uint64_t counter(const std::string& name) const {
+    return registry.get(name);
+  }
+};
+
+/// Build, run and audit one simulation.
+RunResult run_simulation(const RunOptions& opts);
+
+}  // namespace hc3i::driver

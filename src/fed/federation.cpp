@@ -1,0 +1,146 @@
+#include "fed/federation.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace hc3i::fed {
+
+namespace {
+// Fixed stream id for the failure injector, disjoint from the per-node
+// streams used by the workload (which use the node id directly).
+constexpr std::uint64_t kFailureRngStream = 0xFA11FA11ULL;
+}  // namespace
+
+Federation::Federation(sim::Simulation& sim, config::RunSpec spec,
+                       stats::Registry& registry)
+    : sim_(sim),
+      spec_(std::move(spec)),
+      registry_(registry),
+      topo_((spec_.validate(), spec_.topology)),
+      network_(sim, topo_, registry),
+      failure_rng_(sim.rng_stream(kFailureRngStream)) {}
+
+void Federation::build_agents(const proto::AgentFactory& factory,
+                              const std::vector<proto::AppHandle*>& apps) {
+  HC3I_CHECK(agents_.empty(), "build_agents called twice");
+  HC3I_CHECK(apps.size() == topo_.node_count(),
+             "build_agents: need one AppHandle per node");
+  agents_.reserve(topo_.node_count());
+  for (std::uint32_t i = 0; i < topo_.node_count(); ++i) {
+    const NodeId n{i};
+    proto::AgentContext ctx;
+    ctx.sim = &sim_;
+    ctx.network = &network_;
+    ctx.topology = &topo_;
+    ctx.registry = &registry_;
+    ctx.ledger = &ledger_;
+    ctx.self = n;
+    ctx.cluster = topo_.cluster_of(n);
+    ctx.app = apps[i];
+    ctx.recovery_done = [this](ClusterId c) { recovery_complete(c); };
+    agents_.push_back(factory(ctx));
+    HC3I_CHECK(agents_.back() != nullptr, "agent factory returned null");
+    proto::ProtocolAgent* agent = agents_.back().get();
+    network_.attach(n, [agent](const net::Envelope& env) {
+      agent->on_message(env);
+    });
+  }
+}
+
+void Federation::start() {
+  HC3I_CHECK(!agents_.empty(), "start: build_agents first");
+  for (auto& a : agents_) a->start();
+}
+
+proto::ProtocolAgent& Federation::agent(NodeId n) {
+  HC3I_CHECK(n.v < agents_.size(), "agent: bad node id");
+  return *agents_[n.v];
+}
+
+NodeId Federation::coordinator(ClusterId c) const {
+  for (const NodeId n : topo_.nodes_of(c)) {
+    if (network_.node_up(n)) return n;
+  }
+  HC3I_UNREACHABLE("coordinator: entire cluster " + std::to_string(c.v) +
+                   " is down");
+}
+
+SimTime Federation::state_restore_delay(ClusterId c) const {
+  // Restoring the failed node = pulling its state from the neighbour's
+  // replica across the SAN (paper §3.1 stable storage).
+  const auto& san = spec_.topology.clusters[c.v].san;
+  SimTime delay = san.latency;
+  if (std::isfinite(san.bytes_per_sec)) {
+    delay += from_seconds_f(
+        static_cast<double>(spec_.application.state_bytes) / san.bytes_per_sec);
+  }
+  return delay;
+}
+
+void Federation::enable_failures(SimTime horizon) {
+  if (spec_.topology.mtbf.is_infinite()) return;
+  auto_failures_ = true;
+  failure_horizon_ = horizon;
+  schedule_next_failure();
+}
+
+void Federation::schedule_next_failure() {
+  const SimTime gap =
+      from_seconds_f(failure_rng_.exponential(spec_.topology.mtbf.seconds()));
+  const SimTime when = sim_.now() + gap;
+  if (when > failure_horizon_) return;
+  sim_.schedule_at(when, [this] { fire_failure(); });
+}
+
+void Federation::fire_failure() {
+  if (recovery_pending_) {
+    // One fault at a time (paper §2.1): retry once recovery completes.
+    failure_deferred_ = true;
+    return;
+  }
+  const auto victim =
+      NodeId{static_cast<std::uint32_t>(failure_rng_.next_below(
+          topo_.node_count()))};
+  inject_failure(victim);
+  if (auto_failures_) schedule_next_failure();
+}
+
+void Federation::inject_failure(NodeId victim) {
+  HC3I_CHECK(victim.v < topo_.node_count(), "inject_failure: bad node");
+  HC3I_CHECK(!recovery_pending_,
+             "inject_failure: previous recovery still pending "
+             "(the paper assumes one fault at a time)");
+  HC3I_CHECK(network_.node_up(victim), "inject_failure: node already down");
+  recovery_pending_ = true;
+  ++failures_;
+  registry_.inc("fault.injected");
+  const ClusterId c = topo_.cluster_of(victim);
+  HC3I_TRACE(kProtocol, sim_.now(),
+             "FAILURE node " << victim.v << " (cluster " << c.v << ")");
+  network_.set_node_down(victim);
+
+  const SimTime detect = spec_.timers.detection_delay;
+  sim_.schedule_after(detect, [this, victim, c] {
+    // Notify the surviving coordinator.
+    const NodeId coord = coordinator(c);
+    agent(coord).on_failure_detected(victim);
+  });
+  // The victim restarts from its neighbour's replica after the transfer.
+  sim_.schedule_after(detect + state_restore_delay(c), [this, victim] {
+    network_.set_node_up(victim);
+    registry_.inc("fault.node_restored");
+  });
+}
+
+void Federation::recovery_complete(ClusterId c) {
+  HC3I_TRACE(kProtocol, sim_.now(), "RECOVERY complete (cluster " << c.v << ")");
+  registry_.inc("fault.recovery_complete");
+  recovery_pending_ = false;
+  if (failure_deferred_) {
+    failure_deferred_ = false;
+    if (auto_failures_) schedule_next_failure();
+  }
+}
+
+}  // namespace hc3i::fed

@@ -1,0 +1,102 @@
+#pragma once
+
+// Federation assembly: topology + network + ledger + one protocol agent per
+// node, plus fail-stop failure injection.
+//
+// Construction is two-phase because the application layer and the protocol
+// layer point at each other (the app sends through its agent; the agent
+// snapshots/restores/delivers through its AppHandle):
+//
+//   Federation fed(sim, spec, registry);
+//   <workload constructs one AppHandle per node>
+//   fed.build_agents(factory, app_handles);
+//   <workload learns its agents>
+//   fed.start();
+//
+// Failure model (paper §2.1): fail-stop, one fault at a time.  A victim
+// node stops receiving; after the detection delay the coordinator (first
+// up node) of its cluster gets on_failure_detected(); the victim is
+// restored from its neighbour's stable-storage replica after a state
+// transfer delay.  The injector waits for the protocol to signal
+// recovery_complete() before arming the next failure.
+
+#include <memory>
+#include <vector>
+
+#include "config/spec.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "proto/agent.hpp"
+#include "proto/ledger.hpp"
+#include "sim/simulation.hpp"
+#include "stats/registry.hpp"
+
+namespace hc3i::fed {
+
+/// The assembled cluster federation.
+class Federation {
+ public:
+  Federation(sim::Simulation& sim, config::RunSpec spec,
+             stats::Registry& registry);
+
+  Federation(const Federation&) = delete;
+  Federation& operator=(const Federation&) = delete;
+
+  /// Build one agent per node. `apps[n]` is the AppHandle of node n and
+  /// must outlive the federation.
+  void build_agents(const proto::AgentFactory& factory,
+                    const std::vector<proto::AppHandle*>& apps);
+
+  /// Start every agent (arm timers, take initial checkpoints).
+  void start();
+
+  /// Enable automatic failure injection per the topology MTBF, up to
+  /// `horizon`. No-op when the MTBF is infinite.
+  void enable_failures(SimTime horizon);
+
+  /// Inject one failure at the current simulated time (tests and the
+  /// failure-recovery example drive this directly).
+  void inject_failure(NodeId victim);
+
+  /// Protocol signal: the recovery for the last injected failure finished.
+  void recovery_complete(ClusterId c);
+
+  /// Accessors.
+  proto::ProtocolAgent& agent(NodeId n);
+  const net::Topology& topology() const { return topo_; }
+  net::Network& network() { return network_; }
+  proto::ConsistencyLedger& ledger() { return ledger_; }
+  stats::Registry& registry() { return registry_; }
+  const config::RunSpec& spec() const { return spec_; }
+  sim::Simulation& simulation() { return sim_; }
+
+  /// First up node of a cluster (the failure detector's notification
+  /// target). Throws if the whole cluster is down.
+  NodeId coordinator(ClusterId c) const;
+
+  /// Failures injected so far.
+  std::uint32_t failures_injected() const { return failures_; }
+  /// True while a failure's recovery is pending.
+  bool recovery_pending() const { return recovery_pending_; }
+
+ private:
+  void schedule_next_failure();
+  void fire_failure();
+  SimTime state_restore_delay(ClusterId c) const;
+
+  sim::Simulation& sim_;
+  config::RunSpec spec_;
+  stats::Registry& registry_;
+  net::Topology topo_;
+  net::Network network_;
+  proto::ConsistencyLedger ledger_;
+  std::vector<std::unique_ptr<proto::ProtocolAgent>> agents_;
+  RngStream failure_rng_;
+  SimTime failure_horizon_{SimTime::zero()};
+  bool auto_failures_{false};
+  bool recovery_pending_{false};
+  bool failure_deferred_{false};
+  std::uint32_t failures_{0};
+};
+
+}  // namespace hc3i::fed

@@ -1,0 +1,770 @@
+#include "hc3i/agent.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace hc3i::core {
+
+namespace {
+template <typename T>
+const T* payload_as(const net::Envelope& env) {
+  return dynamic_cast<const T*>(env.control.get());
+}
+}  // namespace
+
+Hc3iAgent::Hc3iAgent(const proto::AgentContext& ctx, Hc3iRuntime& rt)
+    : AgentBase(ctx), rt_(rt),
+      ddv_(rt.cluster_count(), ctx.cluster, 0),
+      round_ddv_merge_(rt.cluster_count(), ctx.cluster, 0) {
+  known_rollbacks_.resize(rt_.cluster_count());
+}
+
+std::string Hc3iAgent::cstat(const char* name) const {
+  return std::string(name) + ".c" + std::to_string(cluster().v);
+}
+
+std::uint32_t Hc3iAgent::local_index(NodeId n) const {
+  return n.v - ctx_.topology->first_node(ctx_.topology->cluster_of(n)).v;
+}
+
+std::uint32_t Hc3iAgent::replicas_needed() const {
+  return store().replication();
+}
+
+proto::NodePart Hc3iAgent::make_part() const {
+  proto::NodePart part;
+  part.app = ctx_.app->snapshot();
+  part.dedup.assign(dedup_.begin(), dedup_.end());
+  part.log = log_.entries();
+  return part;
+}
+
+SimTime Hc3iAgent::state_restore_delay() const {
+  const auto& san = rt_.spec().topology.clusters[cluster().v].san;
+  SimTime delay = san.latency;
+  if (std::isfinite(san.bytes_per_sec)) {
+    delay += from_seconds_f(
+        static_cast<double>(rt_.spec().application.state_bytes) /
+        san.bytes_per_sec);
+  }
+  return delay;
+}
+
+void Hc3iAgent::note_log_highwater() {
+  ctx_.registry->raise(cstat("log.max_entries"),
+                       rt_.cluster_log_entries(cluster()));
+  ctx_.registry->raise(cstat("log.max_unacked"),
+                       rt_.cluster_unacked_log_entries(cluster()));
+}
+
+// ---------------------------------------------------------------------------
+// Protocol-variant hooks (HC3I defaults)
+// ---------------------------------------------------------------------------
+
+bool Hc3iAgent::cic_should_force(const net::Envelope& env) const {
+  // Paper §3.2: force iff a CLC has been stored in the sender's cluster
+  // since the last communication from it — i.e. the piggybacked SN is
+  // fresher than our DDV entry.
+  return env.piggy.sn > ddv_.at(env.src_cluster);
+}
+
+void Hc3iAgent::on_inter_delivered(const net::Envelope&) {
+  // HC3I keeps DDV updates synchronised with forced-CLC commits; nothing
+  // happens at delivery time.
+}
+
+bool Hc3iAgent::decide_needs_rollback(ClusterId f, SeqNum restored_sn) const {
+  return ddv_.at(f) >= restored_sn;
+}
+
+const proto::ClcRecord* Hc3iAgent::find_rollback_target(
+    ClusterId f, SeqNum restored_sn) const {
+  // Paper §3.4: "rollback to the first (the older) CLC which has its DDV
+  // entry corresponding to the faulty cluster greater than or equal to the
+  // received SN" — that forced CLC precedes the first undone delivery.
+  return store().oldest_with_dep_at_least(f, restored_sn);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+void Hc3iAgent::start() {
+  if (!is_cluster_coordinator()) return;
+  const SimTime period = rt_.spec().timers.clusters[cluster().v].clc_period;
+  clc_timer_ = std::make_unique<sim::Timer>(*ctx_.sim, period, /*periodic=*/true,
+                                            [this] { on_clc_timer(); });
+  clc_timer_->arm();
+  // "Each cluster stores a first CLC which is the beginning of the
+  // application" (paper §4).
+  ctx_.sim->schedule_after(SimTime::zero(), [this] {
+    coordinator_begin_round(RoundReason::kInitial);
+  });
+
+  if (cluster().v == 0 && rt_.options().enable_gc &&
+      !rt_.spec().timers.gc_period.is_infinite()) {
+    gc_timer_ = std::make_unique<sim::Timer>(*ctx_.sim,
+                                             rt_.spec().timers.gc_period,
+                                             /*periodic=*/true,
+                                             [this] { on_gc_timer(); });
+    gc_timer_->arm();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Application sends (paper Fig. 2: the agent catches every message)
+// ---------------------------------------------------------------------------
+
+void Hc3iAgent::app_send(NodeId dst, std::uint64_t bytes,
+                         std::uint64_t app_seq) {
+  if (rollback_pending_) return;  // frozen application cannot send
+  if (in_round_) {
+    // "Between the request and the commit messages, application messages
+    // are queued" (paper §3.1).
+    queued_sends_.push_back(QueuedSend{dst, bytes, app_seq});
+    ctx_.registry->inc(cstat("clc.queued_sends"));
+    return;
+  }
+  do_send(dst, bytes, app_seq);
+}
+
+void Hc3iAgent::do_send(NodeId dst, std::uint64_t bytes,
+                        std::uint64_t app_seq) {
+  net::Piggyback piggy;
+  piggy.sn = sn_;
+  piggy.incarnation = inc_;
+  const bool inter = ctx_.topology->cluster_of(dst) != cluster();
+  if (inter && rt_.options().transitive_ddv) piggy.ddv = ddv_.values();
+  const net::Envelope sent = send_app(dst, bytes, app_seq, piggy);
+  if (inter) {
+    // Optimistic sender-side log (paper §3.3).
+    log_.add(sent);
+    note_log_highwater();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receive dispatch
+// ---------------------------------------------------------------------------
+
+void Hc3iAgent::on_message(const net::Envelope& env) {
+  if (env.cls == net::MsgClass::kApp) {
+    on_app_message(env);
+  } else {
+    on_control_message(env);
+  }
+}
+
+void Hc3iAgent::on_app_message(const net::Envelope& env) {
+  if (!env.intra_cluster() && is_stale(env)) {
+    // A pre-rollback message from an undone epoch of the sender; the new
+    // incarnation will re-send it (DESIGN.md §3.5).
+    ctx_.registry->inc("cic.stale_dropped");
+    return;
+  }
+  if (rollback_pending_) {
+    // The application is frozen between the protocol rollback and the
+    // state-transfer completion; hold arrivals until resume.
+    post_rollback_stash_.push_back(env);
+    return;
+  }
+  if (in_round_) {
+    // Queued until commit (both directions are frozen during the 2PC).
+    deferred_.push_back(env);
+    return;
+  }
+  if (env.intra_cluster()) {
+    deliver_app(env);
+  } else {
+    receive_inter_app(env);
+  }
+}
+
+void Hc3iAgent::on_control_message(const net::Envelope& env) {
+  if (const auto* m = payload_as<ClcRequest>(env)) return handle_clc_request(*m);
+  if (const auto* m = payload_as<ReplicaStore>(env))
+    return handle_replica_store(env, *m);
+  if (const auto* m = payload_as<ReplicaAck>(env)) return handle_replica_ack(*m);
+  if (const auto* m = payload_as<ClcAck>(env)) return handle_clc_ack(*m);
+  if (const auto* m = payload_as<ClcCommit>(env)) return handle_clc_commit(*m);
+  if (const auto* m = payload_as<ClcDemand>(env)) return handle_clc_demand(*m);
+  if (const auto* m = payload_as<InterAck>(env)) return handle_inter_ack(*m);
+  if (const auto* m = payload_as<RollbackAlert>(env))
+    return handle_rollback_alert(*m);
+  if (const auto* m = payload_as<AlertRelay>(env)) return handle_alert_relay(*m);
+  if (const auto* m = payload_as<GcRequest>(env))
+    return handle_gc_request(env, *m);
+  if (const auto* m = payload_as<GcResponse>(env)) return handle_gc_response(*m);
+  if (const auto* m = payload_as<GcCollect>(env)) return handle_gc_collect(*m);
+  if (const auto* m = payload_as<GcPrune>(env)) return handle_gc_prune(*m);
+  HC3I_UNREACHABLE("Hc3iAgent: unknown control payload");
+}
+
+// ---------------------------------------------------------------------------
+// Communication-induced checkpointing (paper §3.2)
+// ---------------------------------------------------------------------------
+
+bool Hc3iAgent::is_stale(const net::Envelope& env) const {
+  // Stale iff the sender cluster rolled back after the message was sent and
+  // the send belongs to an undone epoch (piggyback SN >= restored SN).
+  for (const RollbackInfo& rb : known_rollbacks_[env.src_cluster.v]) {
+    if (env.piggy.incarnation < rb.inc && env.piggy.sn >= rb.restored) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Hc3iAgent::receive_inter_app(const net::Envelope& env) {
+  if (dedup_.count(env.app_seq) > 0) {
+    // Duplicate of an already-delivered message (a re-send raced with the
+    // original copy). Re-acknowledge so the sender's log entry settles.
+    ctx_.registry->inc("cic.dup_dropped");
+    auto ack = std::make_shared<InterAck>();
+    ack->msg = env.id;
+    ack->ack_sn = sn_;
+    ack->ack_inc = inc_;
+    send_control(env.src, ControlSizes::kSmall, std::move(ack));
+    return;
+  }
+  if (cic_should_force(env)) {
+    // Fresh sender SN: a CLC has been stored in the sender's cluster since
+    // the last communication — force a CLC before delivery (paper §3.2).
+    wait_force_.push_back(env);
+    ctx_.registry->inc(cstat("cic.forced_triggers"));
+    send_demand(env.src_cluster, env.piggy.sn, env.piggy.ddv);
+    return;
+  }
+  deliver_and_ack(env);
+}
+
+void Hc3iAgent::deliver_and_ack(const net::Envelope& env) {
+  dedup_.insert(env.app_seq);
+  on_inter_delivered(env);
+  deliver_app(env);
+  // "Inter-cluster messages are acknowledged with the local SN" at delivery
+  // time (paper §4 figure note; +1 relative to the pre-forced-CLC value).
+  auto ack = std::make_shared<InterAck>();
+  ack->msg = env.id;
+  ack->ack_sn = sn_;
+  ack->ack_inc = inc_;
+  send_control(env.src, ControlSizes::kSmall, std::move(ack));
+}
+
+void Hc3iAgent::send_demand(ClusterId from, SeqNum sn,
+                            const std::vector<SeqNum>& observed_ddv) {
+  auto demand = std::make_shared<ClcDemand>();
+  demand->inc = inc_;
+  demand->from_cluster = from;
+  demand->observed_sn = sn;
+  if (rt_.options().transitive_ddv) demand->observed_ddv = observed_ddv;
+  send_control_or_local(coordinator_of(cluster()),
+                        ControlSizes::kSmall +
+                            observed_ddv.size() * ControlSizes::kPerDdvEntry,
+                        std::move(demand));
+}
+
+void Hc3iAgent::drain_wait_queue() {
+  std::vector<net::Envelope> still_waiting;
+  for (const net::Envelope& env : wait_force_) {
+    if (is_stale(env)) {
+      ctx_.registry->inc("cic.stale_dropped");
+      continue;
+    }
+    if (!cic_should_force(env)) {
+      if (dedup_.count(env.app_seq) == 0) deliver_and_ack(env);
+    } else {
+      still_waiting.push_back(env);
+    }
+  }
+  wait_force_ = std::move(still_waiting);
+}
+
+void Hc3iAgent::handle_clc_demand(const ClcDemand& m) {
+  if (m.inc != inc_) return;  // pre-rollback demand
+  auto& slot = pending_raises_[m.from_cluster.v];
+  slot = std::max(slot, m.observed_sn);
+  if (rt_.options().transitive_ddv && !m.observed_ddv.empty()) {
+    proto::Ddv observed(rt_.cluster_count(), cluster(), 0);
+    for (std::size_t k = 0; k < m.observed_ddv.size(); ++k) {
+      observed.set(ClusterId{static_cast<std::uint32_t>(k)}, m.observed_ddv[k]);
+    }
+    observed.set(cluster(), 0);  // never raise our own entry from a peer
+    if (!pending_merge_) {
+      pending_merge_ = observed;
+    } else {
+      pending_merge_->merge_max(observed);
+    }
+  }
+  if (!round_active_ && !rollback_pending_) {
+    coordinator_begin_round(RoundReason::kForced);
+  }
+  // An active round absorbs the demand: the raise is folded into its commit
+  // (safe because the triggering message is stashed, not delivered, so no
+  // tentative snapshot depends on it).
+}
+
+// ---------------------------------------------------------------------------
+// Intra-cluster two-phase commit (paper §3.1)
+// ---------------------------------------------------------------------------
+
+void Hc3iAgent::on_clc_timer() {
+  if (round_active_ || rollback_pending_) return;
+  coordinator_begin_round(RoundReason::kTimer);
+}
+
+void Hc3iAgent::coordinator_begin_round(RoundReason reason) {
+  HC3I_CHECK(is_cluster_coordinator(), "begin_round on non-coordinator");
+  if (round_active_ || rollback_pending_) return;
+  round_active_ = true;
+  round_reason_ = reason;
+  active_round_id_ = next_round_++;
+  parts_.assign(ctx_.topology->cluster_size(cluster()), std::nullopt);
+  acks_received_ = 0;
+  round_ddv_merge_ = ddv_;
+  auto req = std::make_shared<ClcRequest>();
+  req->round = active_round_id_;
+  req->inc = inc_;
+  HC3I_TRACE(kProtocol, now(),
+             "C" << cluster().v << " CLC round " << active_round_id_
+                 << (reason == RoundReason::kForced ? " (forced)" : " (timer)"));
+  broadcast_control(cluster(), ControlSizes::kSmall, std::move(req),
+                    /*include_self=*/true);
+}
+
+void Hc3iAgent::handle_clc_request(const ClcRequest& m) {
+  if (m.inc != inc_ || rollback_pending_) return;
+  if (in_round_) return;  // duplicate request (rounds are serialised)
+  in_round_ = true;
+  round_ = m.round;
+  replica_acks_ = 0;
+  // Tentative local checkpoint (phase 1) + stable-storage replica write.
+  tentative_ = make_part();
+  if (replicas_needed() == 0) {
+    send_phase1_ack();
+    return;
+  }
+  for (std::uint32_t r = 1; r <= replicas_needed(); ++r) {
+    auto rs = std::make_shared<ReplicaStore>();
+    rs->round = round_;
+    rs->inc = inc_;
+    rs->origin = self();
+    // The replica transfer carries the whole process state across the SAN.
+    send_control(ctx_.topology->ring_neighbour(self(), r),
+                 rt_.spec().application.state_bytes, std::move(rs));
+  }
+}
+
+void Hc3iAgent::handle_replica_store(const net::Envelope& env,
+                                     const ReplicaStore& m) {
+  if (m.inc != inc_) return;
+  auto ack = std::make_shared<ReplicaAck>();
+  ack->round = m.round;
+  ack->inc = inc_;
+  send_control(env.src, ControlSizes::kSmall, std::move(ack));
+}
+
+void Hc3iAgent::handle_replica_ack(const ReplicaAck& m) {
+  if (m.inc != inc_ || !in_round_ || m.round != round_) return;
+  if (++replica_acks_ == replicas_needed()) send_phase1_ack();
+}
+
+void Hc3iAgent::send_phase1_ack() {
+  auto ack = std::make_shared<ClcAck>();
+  ack->round = round_;
+  ack->inc = inc_;
+  ack->node = self();
+  ack->part = *tentative_;
+  ack->node_ddv = ddv_;
+  send_control_or_local(coordinator_of(cluster()), ControlSizes::kSmall,
+                        std::move(ack));
+}
+
+void Hc3iAgent::handle_clc_ack(const ClcAck& m) {
+  if (m.inc != inc_ || !round_active_ || m.round != active_round_id_) return;
+  const std::uint32_t idx = local_index(m.node);
+  HC3I_CHECK(idx < parts_.size(), "ClcAck from foreign node");
+  if (parts_[idx].has_value()) return;  // duplicate
+  parts_[idx] = m.part;
+  round_ddv_merge_.merge_max(m.node_ddv);
+  if (++acks_received_ == parts_.size()) coordinator_commit_round();
+}
+
+void Hc3iAgent::coordinator_commit_round() {
+  const SeqNum new_sn = sn_ + 1;
+  proto::Ddv new_ddv = round_ddv_merge_;
+  new_ddv.set(cluster(), new_sn);
+  for (const auto& [c, s] : pending_raises_) {
+    new_ddv.raise(ClusterId{c}, s);
+  }
+  if (pending_merge_) {
+    // Transitive extension (paper §7): fold the piggybacked DDVs in, never
+    // lowering our own entry.
+    pending_merge_->set(cluster(), new_sn);
+    new_ddv.merge_max(*pending_merge_);
+  }
+  pending_raises_.clear();
+  pending_merge_.reset();
+
+  proto::ClcRecord rec;
+  rec.sn = new_sn;
+  rec.ddv = new_ddv;
+  rec.commit_time = now();
+  rec.ledger_mark = ctx_.ledger->mark();
+  rec.forced = round_reason_ == RoundReason::kForced;
+  rec.parts.reserve(parts_.size());
+  for (auto& p : parts_) {
+    HC3I_CHECK(p.has_value(), "commit without all parts");
+    rec.parts.push_back(std::move(*p));
+  }
+  if (rt_.options().capture_channel_state) {
+    // Channel state: intra-cluster application messages that are in the
+    // network, parked, or held in a node's deferred queue at this instant.
+    // (A real implementation gathers the same set with flush markers over
+    // the FIFO SAN; see DESIGN.md §3.)
+    const ClusterId c = cluster();
+    rec.channel = ctx_.network->snapshot_in_flight([c](const net::Envelope& e) {
+      return e.cls == net::MsgClass::kApp && e.src_cluster == c &&
+             e.dst_cluster == c;
+    });
+    for (const Hc3iAgent* peer : rt_.cluster_agents(c)) {
+      for (const net::Envelope& e : peer->deferred_) {
+        if (e.intra_cluster()) rec.channel.push_back(e);
+      }
+    }
+  }
+  store().commit(std::move(rec));
+
+  auto& reg = *ctx_.registry;
+  reg.inc(cstat("clc.total"));
+  switch (round_reason_) {
+    case RoundReason::kInitial:
+      reg.inc(cstat("clc.initial"));
+      break;
+    case RoundReason::kTimer:
+      reg.inc(cstat("clc.unforced"));
+      break;
+    case RoundReason::kForced:
+      reg.inc(cstat("clc.forced"));
+      break;
+  }
+  reg.raise(cstat("store.max_clcs"), store().size());
+  reg.raise(cstat("store.max_bytes"), store().storage_bytes());
+  HC3I_TRACE(kProtocol, now(), "C" << cluster().v << " commit CLC sn=" << new_sn
+                                   << " ddv=" << new_ddv.to_string());
+
+  round_active_ = false;
+  auto commit = std::make_shared<ClcCommit>();
+  commit->round = active_round_id_;
+  commit->inc = inc_;
+  commit->sn = new_sn;
+  commit->ddv = new_ddv;
+  broadcast_control(cluster(),
+                    ControlSizes::kSmall +
+                        new_ddv.size() * ControlSizes::kPerDdvEntry,
+                    std::move(commit), /*include_self=*/true);
+}
+
+void Hc3iAgent::handle_clc_commit(const ClcCommit& m) {
+  if (m.inc != inc_ || rollback_pending_) return;
+  if (!in_round_ || m.round != round_) return;  // aborted round
+  sn_ = m.sn;
+  ddv_ = m.ddv;
+  in_round_ = false;
+  tentative_.reset();
+  if (is_cluster_coordinator() && clc_timer_) {
+    // "The timer is reset when a forced CLC is established" (paper §5.2) —
+    // on timer-driven CLCs the period naturally restarts too.
+    clc_timer_->reset();
+  }
+  // Drain everything frozen during the round: sends first (they carry the
+  // new SN), then arrivals, then the forced-CLC stash.
+  auto sends = std::move(queued_sends_);
+  queued_sends_.clear();
+  for (const QueuedSend& q : sends) do_send(q.dst, q.bytes, q.app_seq);
+  auto arrivals = std::move(deferred_);
+  deferred_.clear();
+  for (const net::Envelope& env : arrivals) on_app_message(env);
+  drain_wait_queue();
+}
+
+// ---------------------------------------------------------------------------
+// Acks / sender log (paper §3.3)
+// ---------------------------------------------------------------------------
+
+void Hc3iAgent::handle_inter_ack(const InterAck& m) {
+  log_.record_ack(m.msg, m.ack_sn, m.ack_inc);
+}
+
+// ---------------------------------------------------------------------------
+// Rollback (paper §3.4)
+// ---------------------------------------------------------------------------
+
+void Hc3iAgent::on_failure_detected(NodeId failed) {
+  // Delivered to the surviving coordinator of the failed node's cluster:
+  // "When a node failure is detected, the cluster rolls back to its last
+  // stored CLC."
+  HC3I_CHECK(ctx_.topology->cluster_of(failed) == cluster(),
+             "failure notification routed to wrong cluster");
+  ctx_.registry->inc(cstat("rollback.faults"));
+  proto::ClcRecord rec = store().last();  // copy: the store gets truncated
+  // The failed node lost its volatile memory; it will restore the
+  // checkpointed copy of its log (survivors keep and truncate theirs).
+  for (Hc3iAgent* peer : rt_.cluster_agents(cluster())) {
+    peer->lost_memory_idx_ = local_index(failed);
+  }
+  rollback_cluster(std::move(rec), /*fault_origin=*/true);
+}
+
+void Hc3iAgent::rollback_cluster(proto::ClcRecord rec, bool fault_origin) {
+  const ClusterId c = cluster();
+  const Incarnation new_inc = rt_.bump_incarnation(c);
+  auto& reg = *ctx_.registry;
+  reg.inc("rollback.count");
+  reg.inc(cstat("rollback.count"));
+  reg.observe("rollback.depth_clcs", static_cast<double>(sn_ - rec.sn));
+  HC3I_TRACE(kProtocol, now(), "C" << c.v << " ROLLBACK to sn=" << rec.sn
+                                   << " inc=" << new_inc
+                                   << (fault_origin ? " (fault)" : " (alert)"));
+
+  // 1. Drop this cluster's stale intra-cluster traffic (app and control).
+  ctx_.network->drop_in_flight([c](const net::Envelope& e) {
+    return e.src_cluster == c && e.dst_cluster == c;
+  });
+
+  // 2. Undo the cluster's post-checkpoint history in the ledger.
+  ctx_.ledger->undo_after(c, rec.ledger_mark);
+
+  // 3. Restore protocol state on every node of the cluster (atomic cluster
+  //    event; the modelled cost is the resume delay below).
+  for (Hc3iAgent* peer : rt_.cluster_agents(c)) {
+    const bool lost_memory =
+        peer->lost_memory_idx_.has_value() &&
+        *peer->lost_memory_idx_ == local_index(peer->self());
+    peer->apply_cluster_rollback(rec, new_inc, lost_memory);
+    peer->lost_memory_idx_.reset();
+  }
+  if (fault_origin) pending_fault_recovery_ = true;
+
+  // 4. Discard the checkpoints of the undone future.
+  store().truncate_after(rec.sn);
+
+  // 5. Re-inject the channel state once every node has restored.
+  const SimTime resume_delay = state_restore_delay();
+  const auto channel = rec.channel;
+  ctx_.sim->schedule_after(
+      resume_delay + microseconds(1), [this, channel, new_inc] {
+        if (inc_ != new_inc) return;  // superseded by a deeper rollback
+        for (const net::Envelope& env : channel) {
+          Hc3iAgent* dst = rt_.cluster_agents(cluster())[local_index(env.dst)];
+          dst->on_app_message(env);
+        }
+      });
+
+  // 6. Resume the application after the state transfer completes.
+  const proto::ClcRecord resumed = rec;
+  ctx_.sim->schedule_after(resume_delay, [this, resumed, new_inc] {
+    for (Hc3iAgent* peer : rt_.cluster_agents(cluster())) {
+      if (peer->inc_ == new_inc) peer->resume_after_rollback(resumed);
+    }
+    if (inc_ == new_inc && pending_fault_recovery_) {
+      pending_fault_recovery_ = false;
+      ctx_.recovery_done(cluster());
+    }
+  });
+
+  // 7. Alert one node in every other cluster (paper §3.4).
+  auto alert = std::make_shared<RollbackAlert>();
+  alert->faulty = c;
+  alert->restored_sn = rec.sn;
+  alert->new_inc = new_inc;
+  for (std::size_t k = 0; k < rt_.cluster_count(); ++k) {
+    if (k == c.v) continue;
+    send_control(coordinator_of(ClusterId{static_cast<std::uint32_t>(k)}),
+                 ControlSizes::kSmall, alert);
+  }
+}
+
+void Hc3iAgent::apply_cluster_rollback(const proto::ClcRecord& rec,
+                                       Incarnation new_inc, bool lost_memory) {
+  const std::uint32_t idx = local_index(self());
+  // Lost-work accounting: everything since the restored snapshot.
+  const proto::AppSnapshot current = ctx_.app->snapshot();
+  const SimTime lost = current.virtual_work - rec.parts[idx].app.virtual_work;
+  if (lost.ns > 0) {
+    ctx_.registry->observe("rollback.lost_work_s", lost.seconds());
+  }
+
+  sn_ = rec.sn;
+  ddv_ = rec.ddv;
+  inc_ = new_inc;
+  dedup_.clear();
+  dedup_.insert(rec.parts[idx].dedup.begin(), rec.parts[idx].dedup.end());
+  if (lost_memory) {
+    log_.restore(rec.parts[idx].log);
+  } else {
+    log_.truncate_from(rec.sn);
+  }
+  wait_force_.clear();
+  deferred_.clear();
+  queued_sends_.clear();
+  post_rollback_stash_.clear();
+  in_round_ = false;
+  tentative_.reset();
+  round_active_ = false;
+  pending_raises_.clear();
+  pending_merge_.reset();
+  acks_received_ = 0;
+  if (clc_timer_) clc_timer_->cancel();
+  rollback_pending_ = true;
+  ctx_.app->freeze();
+}
+
+void Hc3iAgent::resume_after_rollback(const proto::ClcRecord& rec) {
+  rollback_pending_ = false;
+  ctx_.app->restore(rec.parts[local_index(self())].app);
+  if (is_cluster_coordinator() && clc_timer_) clc_timer_->reset();
+  auto stash = std::move(post_rollback_stash_);
+  post_rollback_stash_.clear();
+  for (const net::Envelope& env : stash) on_app_message(env);
+}
+
+void Hc3iAgent::handle_rollback_alert(const RollbackAlert& m) {
+  HC3I_CHECK(m.faulty != cluster(), "alert from own cluster");
+  if (!alerts_seen_.insert({m.faulty.v, m.new_inc}).second) return;
+  ctx_.registry->inc("rollback.alerts");
+  known_rollbacks_[m.faulty.v].push_back(
+      RollbackInfo{m.new_inc, m.restored_sn});
+
+  // Rollback decision first (paper §3.4): if our DDV entry for the faulty
+  // cluster is >= the alerted SN, roll back to the target CLC, then alert
+  // the others with our own new SN (done inside rollback_cluster).
+  if (decide_needs_rollback(m.faulty, m.restored_sn)) {
+    const proto::ClcRecord* target =
+        find_rollback_target(m.faulty, m.restored_sn);
+    HC3I_CHECK(target != nullptr,
+               "no rollback target — the garbage collector over-pruned");
+    ctx_.registry->inc(cstat("rollback.cascade"));
+    rollback_cluster(*target, /*fault_origin=*/false);
+  }
+
+  // Relay intra-cluster so every node replays its logged messages
+  // ("Even if its cluster does not need to rollback, a node receiving a
+  // rollback alert broadcasts it in its cluster").
+  auto relay = std::make_shared<AlertRelay>();
+  relay->inc = inc_;
+  relay->alert = m;
+  broadcast_control(cluster(), ControlSizes::kSmall, std::move(relay),
+                    /*include_self=*/true);
+}
+
+void Hc3iAgent::handle_alert_relay(const AlertRelay& m) {
+  // Replaying is safe regardless of our incarnation: surviving log entries
+  // always describe sends that are part of our current state.
+  known_rollbacks_[m.alert.faulty.v].push_back(
+      RollbackInfo{m.alert.new_inc, m.alert.restored_sn});
+  const std::vector<net::Envelope> resends =
+      log_.take_resends(m.alert.faulty, m.alert.restored_sn, m.alert.new_inc);
+  for (const net::Envelope& env : resends) {
+    const net::Envelope fresh = resend_app(env);
+    log_.add(fresh);
+  }
+  if (!resends.empty()) note_log_highwater();
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection (paper §3.5)
+// ---------------------------------------------------------------------------
+
+void Hc3iAgent::on_gc_timer() {
+  if (gc_active_) return;
+  gc_active_ = true;
+  ++gc_round_;
+  gc_epoch_at_start_ = rt_.fed_rollback_epoch();
+  gc_metas_.assign(rt_.cluster_count(), std::nullopt);
+  gc_responses_ = 0;
+  ctx_.registry->inc("gc.rounds");
+  HC3I_TRACE(kProtocol, now(), "GC round " << gc_round_ << " start");
+  auto req = std::make_shared<GcRequest>();
+  req->gc_round = gc_round_;
+  for (std::size_t k = 0; k < rt_.cluster_count(); ++k) {
+    send_control_or_local(
+        coordinator_of(ClusterId{static_cast<std::uint32_t>(k)}),
+        ControlSizes::kSmall, req);
+  }
+}
+
+void Hc3iAgent::handle_gc_request(const net::Envelope& env, const GcRequest& m) {
+  auto resp = std::make_shared<GcResponse>();
+  resp->gc_round = m.gc_round;
+  resp->cluster = cluster();
+  for (const proto::ClcRecord& r : store().records()) {
+    resp->metas.push_back(proto::ClcMeta{r.sn, r.ddv});
+  }
+  // The response carries the whole DDV list (paper §5.4 calls this out as
+  // the GC's main network cost).
+  const std::uint64_t bytes =
+      ControlSizes::kSmall + resp->metas.size() * rt_.cluster_count() *
+                                 ControlSizes::kPerDdvEntry;
+  send_control_or_local(env.src, bytes, std::move(resp));
+}
+
+void Hc3iAgent::handle_gc_response(const GcResponse& m) {
+  if (!gc_active_ || m.gc_round != gc_round_) return;
+  if (gc_metas_[m.cluster.v].has_value()) return;
+  gc_metas_[m.cluster.v] = m.metas;
+  if (++gc_responses_ < rt_.cluster_count()) return;
+
+  gc_active_ = false;
+  if (rt_.fed_rollback_epoch() != gc_epoch_at_start_) {
+    // A rollback raced with this GC round; the snapshots are inconsistent.
+    ctx_.registry->inc("gc.aborted");
+    return;
+  }
+  std::vector<std::vector<proto::ClcMeta>> metas;
+  metas.reserve(rt_.cluster_count());
+  for (auto& m_opt : gc_metas_) metas.push_back(std::move(*m_opt));
+  const std::vector<SeqNum> min_sns = proto::gc_min_restored_sns(metas);
+
+  auto collect = std::make_shared<GcCollect>();
+  collect->gc_round = gc_round_;
+  collect->min_sns = min_sns;
+  const std::uint64_t bytes =
+      ControlSizes::kSmall + min_sns.size() * ControlSizes::kPerDdvEntry;
+  for (std::size_t k = 0; k < rt_.cluster_count(); ++k) {
+    send_control_or_local(
+        coordinator_of(ClusterId{static_cast<std::uint32_t>(k)}), bytes,
+        collect);
+  }
+}
+
+void Hc3iAgent::handle_gc_collect(const GcCollect& m) {
+  HC3I_CHECK(m.min_sns.size() == rt_.cluster_count(), "GC vector size");
+  const std::size_t before = store().size();
+  const std::size_t removed = store().prune_before(m.min_sns[cluster().v]);
+  const std::size_t after = store().size();
+  rt_.record_gc(now(), cluster(), before, after);
+  ctx_.registry->inc(cstat("gc.clcs_removed"), removed);
+  HC3I_TRACE(kProtocol, now(), "C" << cluster().v << " GC prune: " << before
+                                   << " -> " << after);
+  auto prune = std::make_shared<GcPrune>();
+  prune->min_sns = m.min_sns;
+  broadcast_control(cluster(),
+                    ControlSizes::kSmall +
+                        m.min_sns.size() * ControlSizes::kPerDdvEntry,
+                    std::move(prune), /*include_self=*/true);
+}
+
+void Hc3iAgent::handle_gc_prune(const GcPrune& m) {
+  std::size_t removed = 0;
+  for (std::size_t d = 0; d < m.min_sns.size(); ++d) {
+    if (d == cluster().v) continue;
+    removed +=
+        log_.prune(ClusterId{static_cast<std::uint32_t>(d)}, m.min_sns[d]);
+  }
+  if (removed > 0) ctx_.registry->inc("gc.log_entries_removed", removed);
+}
+
+}  // namespace hc3i::core

@@ -1,0 +1,95 @@
+#pragma once
+
+// Hc3iRuntime — per-run shared state of the HC3I protocol.
+//
+// The runtime owns what is logically *cluster-level* rather than node-level:
+// the stable-storage checkpoint store of each cluster (paper §3.1), the
+// cluster incarnation counters (DESIGN.md §3.5), and the garbage-collection
+// history the evaluation tables report.  It also gives the cluster
+// coordinator direct access to its cluster's agents for two simulator
+// shortcuts documented in DESIGN.md §3:
+//
+//   * channel-state capture at CLC commit reads each node's held-back
+//     arrivals (a real implementation would gather the same information
+//     with Chandy–Lamport flush markers over the FIFO SAN), and
+//   * a cluster rollback applies atomically to all nodes of the cluster
+//     (a real implementation would run a restart barrier; the simulated
+//     time cost — state-transfer delay before the application resumes —
+//     is modelled either way).
+
+#include <memory>
+#include <vector>
+
+#include "config/spec.hpp"
+#include "hc3i/options.hpp"
+#include "proto/agent.hpp"
+#include "proto/clc_store.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace hc3i::core {
+
+class Hc3iAgent;
+
+/// One garbage-collection outcome for one cluster (paper Tables 2 and 3:
+/// "the number of CLCs stored just before and just after the collection").
+struct GcEvent {
+  SimTime time{};
+  ClusterId cluster{};
+  std::size_t clcs_before{0};
+  std::size_t clcs_after{0};
+};
+
+/// Shared protocol state for one simulation run.
+class Hc3iRuntime {
+ public:
+  Hc3iRuntime(const config::RunSpec& spec, Hc3iOptions opts);
+
+  /// The agent factory to hand to Federation::build_agents. Agents register
+  /// themselves with the runtime on construction.
+  proto::AgentFactory factory();
+
+  /// Register an externally constructed agent (used by protocol variants
+  /// that subclass Hc3iAgent, e.g. the independent-checkpointing baseline).
+  void register_agent(ClusterId c, Hc3iAgent* agent);
+
+  const Hc3iOptions& options() const { return opts_; }
+  const config::RunSpec& spec() const { return spec_; }
+  std::size_t cluster_count() const { return spec_.topology.cluster_count(); }
+
+  /// The stable-storage checkpoint store of a cluster.
+  proto::ClcStore& store(ClusterId c);
+  const proto::ClcStore& store(ClusterId c) const;
+
+  /// Current incarnation of a cluster (bumped on every rollback).
+  Incarnation incarnation(ClusterId c) const;
+  /// Bump and return the new incarnation.
+  Incarnation bump_incarnation(ClusterId c);
+  /// Sum of all incarnations — changes iff any rollback happened (used by
+  /// the GC initiator to abort rounds that raced with a rollback).
+  std::uint64_t fed_rollback_epoch() const;
+
+  /// Agents of one cluster, in node order (available once built).
+  const std::vector<Hc3iAgent*>& cluster_agents(ClusterId c) const;
+
+  /// Total sender-log entries currently held by a cluster's nodes.
+  std::size_t cluster_log_entries(ClusterId c) const;
+  /// Unacknowledged sender-log entries across a cluster's nodes.
+  std::size_t cluster_unacked_log_entries(ClusterId c) const;
+
+  /// Record a GC outcome (called by each cluster's GC handler).
+  void record_gc(SimTime t, ClusterId c, std::size_t before,
+                 std::size_t after);
+  /// All GC outcomes, in occurrence order.
+  const std::vector<GcEvent>& gc_events() const { return gc_events_; }
+
+ private:
+  config::RunSpec spec_;
+  Hc3iOptions opts_;
+  std::vector<std::unique_ptr<proto::ClcStore>> stores_;
+  std::vector<Incarnation> incarnations_;
+  std::vector<std::vector<Hc3iAgent*>> agents_;  ///< [cluster][local index]
+  std::vector<GcEvent> gc_events_;
+};
+
+}  // namespace hc3i::core

@@ -1,0 +1,123 @@
+#include "net/network.hpp"
+
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace hc3i::net {
+
+Network::Network(sim::Simulation& sim, const Topology& topo,
+                 stats::Registry& reg)
+    : sim_(sim), topo_(topo), reg_(reg),
+      deliver_(topo.node_count()),
+      up_(topo.node_count(), true) {}
+
+void Network::attach(NodeId n, DeliverFn deliver) {
+  HC3I_CHECK(n.v < deliver_.size(), "attach: bad node id");
+  deliver_[n.v] = std::move(deliver);
+}
+
+void Network::count_send(const Envelope& env) {
+  const std::string dir = env.intra_cluster() ? "intra" : "inter";
+  const std::string cls = env.cls == MsgClass::kApp ? "app" : "ctl";
+  reg_.inc("net." + cls + "." + dir + ".msgs");
+  reg_.inc("net." + cls + "." + dir + ".bytes", env.wire_bytes());
+  if (env.cls == MsgClass::kApp) {
+    // Per-cluster-pair census — this is Table 1 of the paper.
+    reg_.inc("net.app.pair." + std::to_string(env.src_cluster.v) + "." +
+             std::to_string(env.dst_cluster.v));
+  }
+}
+
+MsgId Network::send(Envelope env) {
+  HC3I_CHECK(env.src.v < topo_.node_count() && env.dst.v < topo_.node_count(),
+             "send: bad endpoint");
+  HC3I_CHECK(env.src != env.dst, "send: src == dst (use a direct call)");
+  env.id = MsgId{next_msg_id_++};
+  env.src_cluster = topo_.cluster_of(env.src);
+  env.dst_cluster = topo_.cluster_of(env.dst);
+  env.sent_at = sim_.now();
+  count_send(env);
+
+  const auto& link = topo_.link(env.src, env.dst);
+  SimTime delay = link.latency;
+  if (std::isfinite(link.bytes_per_sec)) {
+    delay += from_seconds_f(static_cast<double>(env.wire_bytes()) /
+                            link.bytes_per_sec);
+  }
+  const MsgId id = env.id;
+  Flight flight{std::move(env), {}, false};
+  flight.event = sim_.schedule_after(delay, [this, id] { arrive(id); });
+  in_flight_.emplace(id.v, std::move(flight));
+  return id;
+}
+
+void Network::arrive(MsgId id) {
+  const auto it = in_flight_.find(id.v);
+  HC3I_CHECK(it != in_flight_.end(), "arrive: unknown message");
+  if (!up_[it->second.env.dst.v]) {
+    // Destination is down: park. Delivered on set_node_up — the network is
+    // reliable (paper §2.1), it never drops.
+    it->second.parked = true;
+    return;
+  }
+  Envelope env = std::move(it->second.env);
+  in_flight_.erase(it);
+  const auto& fn = deliver_[env.dst.v];
+  HC3I_CHECK(static_cast<bool>(fn), "arrive: node has no receive handler");
+  fn(env);
+}
+
+void Network::set_node_down(NodeId n) {
+  HC3I_CHECK(n.v < up_.size(), "set_node_down: bad node id");
+  up_[n.v] = false;
+}
+
+void Network::set_node_up(NodeId n) {
+  HC3I_CHECK(n.v < up_.size(), "set_node_up: bad node id");
+  if (up_[n.v]) return;
+  up_[n.v] = true;
+  // Deliver parked messages for this node, in MsgId (send) order, as fresh
+  // immediate events so handlers run from a clean stack.
+  std::vector<MsgId> ready;
+  for (const auto& [mid, flight] : in_flight_) {
+    if (flight.parked && flight.env.dst == n) ready.push_back(MsgId{mid});
+  }
+  for (MsgId mid : ready) {
+    auto& flight = in_flight_.at(mid.v);
+    flight.parked = false;
+    flight.event = sim_.schedule_after(SimTime::zero(),
+                                       [this, mid] { arrive(mid); });
+  }
+}
+
+bool Network::node_up(NodeId n) const {
+  HC3I_CHECK(n.v < up_.size(), "node_up: bad node id");
+  return up_[n.v];
+}
+
+std::vector<Envelope> Network::snapshot_in_flight(
+    const std::function<bool(const Envelope&)>& pred) const {
+  std::vector<Envelope> out;
+  for (const auto& [_, flight] : in_flight_) {
+    if (pred(flight.env)) out.push_back(flight.env);
+  }
+  return out;
+}
+
+std::size_t Network::drop_in_flight(
+    const std::function<bool(const Envelope&)>& pred) {
+  std::size_t dropped = 0;
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if (pred(it->second.env)) {
+      if (!it->second.parked) sim_.cancel(it->second.event);
+      it = in_flight_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace hc3i::net

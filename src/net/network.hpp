@@ -1,0 +1,92 @@
+#pragma once
+
+// The simulated network.
+//
+// Semantics follow the paper's assumptions (§2.1): reliable — "a sent message
+// will be received in an arbitrary but finite lapse of time" — with per-link
+// one-way latency plus size/bandwidth serialisation delay.  Messages between
+// different node pairs are independent (no contention model); messages on the
+// same pair may reorder when a small message overtakes a large one, which the
+// protocols must (and do) tolerate.
+//
+// Fail-stop support: messages addressed to a node that is currently down are
+// *parked* and delivered when the node comes back up — the network never
+// loses messages, matching the paper's reliability assumption; it is the
+// protocol's job (incarnation filtering) to discard stale ones.
+//
+// The in-flight registry gives the checkpointing layer two primitives the
+// paper leaves implicit but any implementation needs:
+//   * snapshot_in_flight(pred) — capture channel state at CLC commit,
+//   * drop_in_flight(pred)     — discard a rolled-back cluster's stale
+//                                intra-cluster traffic.
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+#include "stats/registry.hpp"
+
+namespace hc3i::net {
+
+/// Delivery callback: invoked at arrival time with the envelope.
+using DeliverFn = std::function<void(const Envelope&)>;
+
+/// The message-passing fabric of the federation.
+class Network {
+ public:
+  Network(sim::Simulation& sim, const Topology& topo, stats::Registry& reg);
+
+  /// Register the receive handler for a node. Must be called for every node
+  /// before traffic flows to it.
+  void attach(NodeId n, DeliverFn deliver);
+
+  /// Transmit a message. The envelope's id and sent_at are assigned here;
+  /// the assigned MsgId is returned (sender-side logs keep it).
+  /// src/dst clusters are filled from the topology.
+  MsgId send(Envelope env);
+
+  /// Mark a node down (fail-stop) — subsequent arrivals are parked.
+  void set_node_down(NodeId n);
+  /// Mark a node up again and deliver everything parked for it.
+  void set_node_up(NodeId n);
+  /// True if the node is currently up.
+  bool node_up(NodeId n) const;
+
+  /// Copy every in-flight (sent, not yet arrived, plus parked) envelope
+  /// matching `pred`. Used for CLC channel-state capture.
+  std::vector<Envelope> snapshot_in_flight(
+      const std::function<bool(const Envelope&)>& pred) const;
+
+  /// Remove every in-flight/parked envelope matching `pred`; returns how
+  /// many were dropped. Used when a cluster rolls back.
+  std::size_t drop_in_flight(const std::function<bool(const Envelope&)>& pred);
+
+  /// Number of messages currently in flight or parked.
+  std::size_t in_flight_count() const { return in_flight_.size(); }
+
+  /// Total messages ever sent.
+  std::uint64_t total_sent() const { return next_msg_id_; }
+
+ private:
+  struct Flight {
+    Envelope env;
+    sim::EventId event;   ///< scheduled arrival (invalid while parked)
+    bool parked{false};
+  };
+
+  void arrive(MsgId id);
+  void count_send(const Envelope& env);
+
+  sim::Simulation& sim_;
+  const Topology& topo_;
+  stats::Registry& reg_;
+  std::vector<DeliverFn> deliver_;     ///< indexed by NodeId
+  std::vector<bool> up_;               ///< indexed by NodeId
+  std::map<std::uint64_t, Flight> in_flight_;  ///< keyed by MsgId value
+  std::uint64_t next_msg_id_{1};
+};
+
+}  // namespace hc3i::net

@@ -1,0 +1,92 @@
+#include "proto/agent_base.hpp"
+
+namespace hc3i::proto {
+
+net::Envelope AgentBase::send_app(NodeId dst, std::uint64_t bytes,
+                                  std::uint64_t app_seq,
+                                  const net::Piggyback& piggy) {
+  net::Envelope env;
+  env.src = self();
+  env.dst = dst;
+  env.src_cluster = cluster();
+  env.dst_cluster = ctx_.topology->cluster_of(dst);
+  env.cls = net::MsgClass::kApp;
+  env.payload_bytes = bytes;
+  env.piggy = piggy;
+  env.app_seq = app_seq;
+  env.sent_at = now();
+  ctx_.ledger->record_send(app_seq, self(), cluster(), now());
+  env.id = ctx_.network->send(env);
+  return env;
+}
+
+net::Envelope AgentBase::resend_app(const net::Envelope& original) {
+  net::Envelope env = original;
+  ctx_.ledger->record_send(env.app_seq, self(), cluster(), now());
+  ctx_.registry->inc("log.resent_msgs");
+  env.sent_at = now();
+  env.id = ctx_.network->send(env);
+  return env;
+}
+
+void AgentBase::deliver_app(const net::Envelope& env) {
+  ctx_.ledger->record_delivery(env.app_seq, self(), cluster(), now());
+  ctx_.app->deliver(env);
+}
+
+MsgId AgentBase::send_control(
+    NodeId dst, std::uint64_t bytes,
+    std::shared_ptr<const net::ControlPayload> payload) {
+  net::Envelope env;
+  env.src = self();
+  env.dst = dst;
+  env.cls = net::MsgClass::kControl;
+  env.payload_bytes = bytes;
+  env.control = std::move(payload);
+  return ctx_.network->send(std::move(env));
+}
+
+net::Envelope AgentBase::make_local_control(
+    std::uint64_t bytes,
+    std::shared_ptr<const net::ControlPayload> payload) const {
+  net::Envelope env;
+  env.id = MsgId{0};
+  env.src = self();
+  env.dst = self();
+  env.src_cluster = cluster();
+  env.dst_cluster = cluster();
+  env.cls = net::MsgClass::kControl;
+  env.payload_bytes = bytes;
+  env.control = std::move(payload);
+  env.sent_at = now();
+  return env;
+}
+
+void AgentBase::send_control_or_local(
+    NodeId dst, std::uint64_t bytes,
+    std::shared_ptr<const net::ControlPayload> payload) {
+  if (dst == self()) {
+    const net::Envelope env = make_local_control(bytes, std::move(payload));
+    ctx_.sim->schedule_after(SimTime::zero(), [this, env] { on_message(env); });
+    return;
+  }
+  send_control(dst, bytes, std::move(payload));
+}
+
+void AgentBase::broadcast_control(
+    ClusterId cluster_id, std::uint64_t bytes,
+    std::shared_ptr<const net::ControlPayload> payload, bool include_self) {
+  for (const NodeId n : ctx_.topology->nodes_of(cluster_id)) {
+    if (n == self()) {
+      if (include_self) {
+        const net::Envelope env = make_local_control(bytes, payload);
+        ctx_.sim->schedule_after(SimTime::zero(),
+                                 [this, env] { on_message(env); });
+      }
+      continue;
+    }
+    send_control(n, bytes, payload);
+  }
+}
+
+}  // namespace hc3i::proto

@@ -1,0 +1,80 @@
+#include "proto/clc_store.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hc3i::proto {
+
+ClcStore::ClcStore(ClusterId cluster, std::uint32_t nodes,
+                   std::uint32_t replication)
+    : cluster_(cluster), nodes_(nodes), replication_(replication) {
+  HC3I_CHECK(nodes_ >= 1, "ClcStore: empty cluster");
+  HC3I_CHECK(replication_ < nodes_,
+             "ClcStore: replication degree must be below cluster size");
+}
+
+void ClcStore::commit(ClcRecord rec) {
+  HC3I_CHECK(rec.parts.size() == nodes_,
+             "ClcStore: record must carry one part per node");
+  HC3I_CHECK(records_.empty() || rec.sn > records_.back().sn,
+             "ClcStore: SNs must be strictly increasing");
+  HC3I_CHECK(rec.ddv.at(cluster_) == rec.sn,
+             "ClcStore: own DDV entry must equal the record SN");
+  records_.push_back(std::move(rec));
+}
+
+const ClcRecord& ClcStore::last() const {
+  HC3I_CHECK(!records_.empty(), "ClcStore: no committed CLC");
+  return records_.back();
+}
+
+const ClcRecord* ClcStore::oldest_with_dep_at_least(ClusterId f,
+                                                    SeqNum sn) const {
+  for (const auto& r : records_) {
+    if (r.ddv.at(f) >= sn) return &r;
+  }
+  return nullptr;
+}
+
+const ClcRecord* ClcStore::find(SeqNum sn) const {
+  for (const auto& r : records_) {
+    if (r.sn == sn) return &r;
+  }
+  return nullptr;
+}
+
+std::size_t ClcStore::truncate_after(SeqNum sn) {
+  const std::size_t before = records_.size();
+  records_.erase(
+      std::remove_if(records_.begin(), records_.end(),
+                     [&](const ClcRecord& r) { return r.sn > sn; }),
+      records_.end());
+  return before - records_.size();
+}
+
+std::size_t ClcStore::prune_before(SeqNum min_sn) {
+  const std::size_t before = records_.size();
+  records_.erase(
+      std::remove_if(records_.begin(), records_.end(),
+                     [&](const ClcRecord& r) { return r.sn < min_sn; }),
+      records_.end());
+  return before - records_.size();
+}
+
+std::uint64_t ClcStore::storage_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& r : records_) {
+    std::uint64_t rec_bytes = 0;
+    for (const auto& p : r.parts) {
+      rec_bytes += p.app.state_bytes;
+      rec_bytes += p.dedup.size() * sizeof(std::uint64_t);
+      for (const auto& e : p.log) rec_bytes += e.env.wire_bytes();
+    }
+    for (const auto& ch : r.channel) rec_bytes += ch.wire_bytes();
+    total += rec_bytes * (1 + replication_);
+  }
+  return total;
+}
+
+}  // namespace hc3i::proto

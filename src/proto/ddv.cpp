@@ -1,0 +1,49 @@
+#include "proto/ddv.hpp"
+
+#include <algorithm>
+
+namespace hc3i::proto {
+
+Ddv::Ddv(std::size_t clusters, ClusterId self, SeqNum own_sn)
+    : v_(clusters, 0) {
+  HC3I_CHECK(self.v < clusters, "Ddv: owner out of range");
+  v_[self.v] = own_sn;
+}
+
+SeqNum Ddv::at(ClusterId i) const {
+  HC3I_CHECK(i.v < v_.size(), "Ddv::at: cluster out of range");
+  return v_[i.v];
+}
+
+bool Ddv::raise(ClusterId i, SeqNum sn) {
+  HC3I_CHECK(i.v < v_.size(), "Ddv::raise: cluster out of range");
+  if (sn > v_[i.v]) {
+    v_[i.v] = sn;
+    return true;
+  }
+  return false;
+}
+
+void Ddv::set(ClusterId i, SeqNum sn) {
+  HC3I_CHECK(i.v < v_.size(), "Ddv::set: cluster out of range");
+  v_[i.v] = sn;
+}
+
+void Ddv::merge_max(const Ddv& other) {
+  HC3I_CHECK(other.size() == size(), "Ddv::merge_max: size mismatch");
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    v_[i] = std::max(v_[i], other.v_[i]);
+  }
+}
+
+std::string Ddv::to_string() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < v_.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(v_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace hc3i::proto

@@ -1,0 +1,49 @@
+#pragma once
+
+// Direct Dependencies Vector (DDV), paper §3.2 (after Badrinath & Morin [2]).
+//
+// For cluster j, DDV[i] is the last sequence number received from cluster i
+// (0 if none), and DDV[j] is cluster j's own SN.  "The size of the DDV is
+// the number of clusters in the federation, not the number of nodes."
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/ids.hpp"
+
+namespace hc3i::proto {
+
+/// A cluster's direct-dependency vector.
+class Ddv {
+ public:
+  Ddv() = default;
+  /// A zero vector for a federation of `clusters` clusters, owned by
+  /// `self`: DDV[self] is set to `own_sn`, everything else to 0.
+  Ddv(std::size_t clusters, ClusterId self, SeqNum own_sn);
+
+  /// Entry for cluster i.
+  SeqNum at(ClusterId i) const;
+  /// Update entry for cluster i to max(current, sn); returns true if raised.
+  bool raise(ClusterId i, SeqNum sn);
+  /// Set the owner's entry (kept equal to the cluster SN).
+  void set(ClusterId i, SeqNum sn);
+  /// Number of entries (== number of clusters).
+  std::size_t size() const { return v_.size(); }
+  /// Raw entries (for serialisation / piggybacking).
+  const std::vector<SeqNum>& values() const { return v_; }
+  /// Merge: entry-wise maximum with another vector of the same size.
+  /// Used by the transitive-piggybacking extension (paper §7).
+  void merge_max(const Ddv& other);
+
+  bool operator==(const Ddv&) const = default;
+
+  /// "(3, 0, 4)" — rendering used in traces, mirroring the paper's figures.
+  std::string to_string() const;
+
+ private:
+  std::vector<SeqNum> v_;
+};
+
+}  // namespace hc3i::proto

@@ -1,0 +1,80 @@
+#include "proto/ledger.hpp"
+
+#include <map>
+
+namespace hc3i::proto {
+
+std::uint64_t ConsistencyLedger::record_send(std::uint64_t app_seq, NodeId src,
+                                             ClusterId src_cluster, SimTime t) {
+  const std::uint64_t seq = ++next_seq_;
+  events_.push_back(Event{seq, app_seq, Kind::kSend, src, src_cluster, t, false});
+  return seq;
+}
+
+std::uint64_t ConsistencyLedger::record_delivery(std::uint64_t app_seq,
+                                                 NodeId dst,
+                                                 ClusterId dst_cluster,
+                                                 SimTime t) {
+  const std::uint64_t seq = ++next_seq_;
+  events_.push_back(
+      Event{seq, app_seq, Kind::kDelivery, dst, dst_cluster, t, false});
+  return seq;
+}
+
+void ConsistencyLedger::undo_after(ClusterId c, std::uint64_t mark) {
+  // Events are appended in seq order; walk backwards until seq <= mark.
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (it->seq <= mark) break;
+    if (it->owner_cluster == c && !it->undone) {
+      it->undone = true;
+      ++undone_count_;
+    }
+  }
+}
+
+void ConsistencyLedger::undo_after_node(NodeId n, std::uint64_t mark) {
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (it->seq <= mark) break;
+    if (it->owner_node == n && !it->undone) {
+      it->undone = true;
+      ++undone_count_;
+    }
+  }
+}
+
+std::vector<std::string> ConsistencyLedger::validate(
+    bool allow_in_flight) const {
+  struct Tally {
+    int live_sends{0};
+    int live_deliveries{0};
+  };
+  std::map<std::uint64_t, Tally> by_msg;
+  for (const auto& e : events_) {
+    if (e.undone) continue;
+    auto& t = by_msg[e.app_seq];
+    if (e.kind == Kind::kSend) {
+      ++t.live_sends;
+    } else {
+      ++t.live_deliveries;
+    }
+  }
+  std::vector<std::string> violations;
+  for (const auto& [app_seq, t] : by_msg) {
+    if (t.live_deliveries > 1) {
+      violations.push_back("message " + std::to_string(app_seq) +
+                           " delivered " + std::to_string(t.live_deliveries) +
+                           " times (duplicate)");
+    }
+    if (t.live_deliveries >= 1 && t.live_sends == 0) {
+      violations.push_back("message " + std::to_string(app_seq) +
+                           " delivered but its send was rolled back (ghost)");
+    }
+    if (t.live_sends >= 1 && t.live_deliveries == 0 && !allow_in_flight) {
+      violations.push_back("message " + std::to_string(app_seq) +
+                           " sent but never delivered (lost)");
+    }
+  }
+  return violations;
+}
+
+}  // namespace hc3i::proto

@@ -1,0 +1,81 @@
+#include "proto/msg_log.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hc3i::proto {
+
+void MsgLog::add(const net::Envelope& env) {
+  HC3I_CHECK(!env.intra_cluster(), "MsgLog: only inter-cluster messages are logged");
+  entries_.push_back(LogEntry{env, false, 0, 0});
+}
+
+void MsgLog::record_ack(MsgId id, SeqNum ack_sn, Incarnation ack_inc) {
+  for (auto& e : entries_) {
+    if (e.env.id == id) {
+      e.acked = true;
+      e.ack_sn = ack_sn;
+      e.ack_inc = ack_inc;
+      return;
+    }
+  }
+}
+
+std::vector<net::Envelope> MsgLog::take_resends(ClusterId dst,
+                                                SeqNum restored_sn,
+                                                Incarnation new_inc) {
+  std::vector<net::Envelope> out;
+  auto needs_resend = [&](const LogEntry& e) {
+    if (e.env.dst_cluster != dst) return false;
+    if (!e.acked) return true;
+    // An ack from the new (post-rollback) incarnation proves the delivery
+    // happened into the restored execution — it survives.
+    if (e.ack_inc >= new_inc) return false;
+    // Pre-rollback ack: the delivery survives only if it happened in an
+    // epoch strictly before the restored checkpoint.
+    return e.ack_sn >= restored_sn;
+  };
+  for (const auto& e : entries_) {
+    if (needs_resend(e)) out.push_back(e.env);
+  }
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(), needs_resend),
+                 entries_.end());
+  return out;
+}
+
+std::size_t MsgLog::truncate_from(SeqNum restored_sn) {
+  const auto undone = [&](const LogEntry& e) {
+    return e.env.piggy.sn >= restored_sn;
+  };
+  const std::size_t before = entries_.size();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(), undone),
+                 entries_.end());
+  return before - entries_.size();
+}
+
+std::size_t MsgLog::prune(ClusterId dst, SeqNum min_sn) {
+  const auto stable = [&](const LogEntry& e) {
+    return e.env.dst_cluster == dst && e.acked && e.ack_sn < min_sn;
+  };
+  const std::size_t before = entries_.size();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(), stable),
+                 entries_.end());
+  return before - entries_.size();
+}
+
+std::size_t MsgLog::unacked_count() const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) n += e.acked ? 0 : 1;
+  return n;
+}
+
+std::uint64_t MsgLog::bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& e : entries_) {
+    total += e.env.wire_bytes() + sizeof(SeqNum) + sizeof(Incarnation);
+  }
+  return total;
+}
+
+}  // namespace hc3i::proto

@@ -1,0 +1,76 @@
+#pragma once
+
+// Sender-side optimistic message log (paper §3.3).
+//
+// "When a message is sent outside a cluster, the sender logs it
+// optimistically in its volatile memory (logged messages are used only if
+// the sender does not rollback).  The message is acknowledged with the
+// receiver's SN which is logged along with the message itself."
+//
+// Entries record the acknowledging incarnation too (DESIGN.md §3.4-3.5):
+// after a rollback alert (f, restored_sn, new_inc) the sender re-sends the
+// logged messages to f that are unacknowledged, or whose ack came from a
+// pre-rollback incarnation with ack SN >= restored_sn.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+#include "util/ids.hpp"
+
+namespace hc3i::proto {
+
+/// One logged inter-cluster message.
+struct LogEntry {
+  net::Envelope env;          ///< the original send (payload + piggyback)
+  bool acked{false};
+  SeqNum ack_sn{0};           ///< receiver cluster's SN at delivery
+  Incarnation ack_inc{0};     ///< receiver cluster's incarnation at delivery
+};
+
+/// A node's volatile log of its own inter-cluster sends.
+class MsgLog {
+ public:
+  /// Log a freshly sent message.
+  void add(const net::Envelope& env);
+
+  /// Record the receiver's acknowledgement for message `id`.
+  /// Unknown ids are ignored (the entry may have been pruned by GC or
+  /// truncated by a local rollback — both make the ack moot).
+  void record_ack(MsgId id, SeqNum ack_sn, Incarnation ack_inc);
+
+  /// Envelopes to re-send after rollback alert (dst, restored_sn, new_inc).
+  /// Marks nothing; the caller re-sends and the new transmissions get
+  /// logged as fresh entries, so the old entries are dropped here.
+  std::vector<net::Envelope> take_resends(ClusterId dst, SeqNum restored_sn,
+                                          Incarnation new_inc);
+
+  /// Local rollback to SN `restored_sn`: drop entries whose send happened
+  /// at or after the restored checkpoint (piggyback SN >= restored_sn) —
+  /// those sends are undone and will be re-executed by the application.
+  std::size_t truncate_from(SeqNum restored_sn);
+
+  /// Garbage collection (paper §3.5): drop entries to cluster `dst` that
+  /// are acknowledged with an SN strictly below `min_sn` — cluster `dst`
+  /// can never roll back past min_sn, so those deliveries are stable.
+  std::size_t prune(ClusterId dst, SeqNum min_sn);
+
+  /// Number of live entries.
+  std::size_t size() const { return entries_.size(); }
+  /// Entries whose acknowledgement has not arrived yet (messages whose
+  /// delivery is still unconfirmed — the paper's §5.4 "logged messages"
+  /// high-water counts these).
+  std::size_t unacked_count() const;
+  /// Modelled bytes held by the log.
+  std::uint64_t bytes() const;
+  /// Read-only view (tests, checkpoint capture).
+  const std::vector<LogEntry>& entries() const { return entries_; }
+  /// Replace the whole log (restoring a failed node from its checkpointed
+  /// log copy — DESIGN.md §3 refinement).
+  void restore(std::vector<LogEntry> entries) { entries_ = std::move(entries); }
+
+ private:
+  std::vector<LogEntry> entries_;
+};
+
+}  // namespace hc3i::proto

@@ -1,0 +1,103 @@
+#include "proto/recovery_line.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hc3i::proto {
+
+namespace {
+
+/// The effective record list of cluster c once it has rolled back to
+/// `restored_sn`: records with larger SN are discarded.  Returns the DDV of
+/// the most recent effective record — the cluster's current DDV.
+const Ddv& current_ddv(const std::vector<ClcMeta>& metas, SeqNum restored_sn) {
+  const ClcMeta* best = nullptr;
+  for (const auto& m : metas) {
+    if (m.sn <= restored_sn) best = &m;
+  }
+  HC3I_CHECK(best != nullptr, "recovery line: no effective checkpoint");
+  return best->ddv;
+}
+
+}  // namespace
+
+RecoveryLine compute_recovery_line(
+    const std::vector<std::vector<ClcMeta>>& meta, ClusterId faulty) {
+  const std::size_t n = meta.size();
+  HC3I_CHECK(faulty.v < n, "recovery line: bad faulty cluster");
+  for (std::size_t c = 0; c < n; ++c) {
+    HC3I_CHECK(!meta[c].empty(),
+               "recovery line: cluster " + std::to_string(c) +
+                   " has no stored CLC (initial checkpoint missing?)");
+    for (std::size_t k = 1; k < meta[c].size(); ++k) {
+      HC3I_CHECK(meta[c][k].sn > meta[c][k - 1].sn,
+                 "recovery line: metadata must be SN-ordered");
+    }
+  }
+
+  RecoveryLine line;
+  line.restored.resize(n);
+  line.rolled_back.assign(n, false);
+  for (std::size_t c = 0; c < n; ++c) line.restored[c] = meta[c].back().sn;
+
+  // The faulty cluster restores its most recent stored CLC (paper §3.4).
+  line.rolled_back[faulty.v] = true;
+
+  // Alert propagation to fixpoint. Each iteration applies every pending
+  // alert (i -> everyone); restored SNs are monotonically non-increasing
+  // and bounded below by the first stored SN, so this terminates.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!line.rolled_back[i]) continue;
+      const SeqNum r_i = line.restored[i];
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const Ddv& ddv_j = current_ddv(meta[j], line.restored[j]);
+        if (ddv_j.at(ClusterId{static_cast<std::uint32_t>(i)}) < r_i) continue;
+        // j depends on an undone epoch of i: roll back to the oldest
+        // effective CLC whose entry for i is >= r_i.
+        const ClcMeta* target = nullptr;
+        for (const auto& m : meta[j]) {
+          if (m.sn > line.restored[j]) break;
+          if (m.ddv.at(ClusterId{static_cast<std::uint32_t>(i)}) >= r_i) {
+            target = &m;
+            break;
+          }
+        }
+        HC3I_CHECK(target != nullptr,
+                   "recovery line: no rollback target in cluster " +
+                       std::to_string(j) + " for alert from " +
+                       std::to_string(i));
+        // Rolling back to the most recent CLC (target->sn == restored[j])
+        // still counts: the post-commit execution holds the undone
+        // delivery, and the rollback's own alert may cascade further.
+        if (target->sn < line.restored[j] || !line.rolled_back[j]) {
+          line.restored[j] = target->sn;
+          line.rolled_back[j] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  return line;
+}
+
+std::vector<SeqNum> gc_min_restored_sns(
+    const std::vector<std::vector<ClcMeta>>& meta) {
+  const std::size_t n = meta.size();
+  std::vector<SeqNum> min_sns(n);
+  for (std::size_t c = 0; c < n; ++c) min_sns[c] = meta[c].back().sn;
+  for (std::size_t f = 0; f < n; ++f) {
+    const RecoveryLine line =
+        compute_recovery_line(meta, ClusterId{static_cast<std::uint32_t>(f)});
+    for (std::size_t c = 0; c < n; ++c) {
+      min_sns[c] = std::min(min_sns[c], line.restored[c]);
+    }
+  }
+  return min_sns;
+}
+
+}  // namespace hc3i::proto

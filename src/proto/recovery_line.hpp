@@ -1,0 +1,61 @@
+#pragma once
+
+// Recovery-line computation (pure).
+//
+// Given the retained checkpoint metadata of every cluster, compute where
+// each cluster lands after a failure of cluster `f` — the fixpoint of the
+// paper's rollback-alert propagation (§3.4):
+//
+//   * the faulty cluster restores its most recent stored CLC;
+//   * a cluster whose current DDV entry for an alerting cluster i is >= the
+//     alerted SN rolls back to its *oldest* stored CLC whose DDV entry for
+//     i is >= that SN, then alerts the others with its own new SN;
+//   * a cluster's "current" DDV equals the DDV of its most recent effective
+//     CLC, because DDV entries only change at forced-CLC commits.
+//
+// This function is used three ways: by the garbage collector ("it simulates
+// a failure in each cluster", §3.5), by tests as the oracle the distributed
+// alert cascade must agree with, and by the independent-checkpointing
+// baseline to measure the domino effect.
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/ddv.hpp"
+#include "util/ids.hpp"
+
+namespace hc3i::proto {
+
+/// Checkpoint metadata exchanged for recovery-line purposes: the paper's
+/// "list of all the DDVs associated with the stored CLCs".
+struct ClcMeta {
+  SeqNum sn{0};
+  Ddv ddv;
+};
+
+/// Outcome of one simulated failure.
+struct RecoveryLine {
+  /// restored[c] — the SN of the CLC cluster c lands on; equal to its most
+  /// recent SN when the failure does not force it to roll back.
+  std::vector<SeqNum> restored;
+  /// rolled_back[c] — true when c had to roll back (including the faulty
+  /// cluster itself).
+  std::vector<bool> rolled_back;
+};
+
+/// Compute the recovery line after a failure in `faulty`.
+/// `meta[c]` must be the retained CLCs of cluster c in increasing-SN order
+/// and non-empty (every cluster stores the initial checkpoint).
+/// Throws CheckFailure if the line cannot be constructed (which would mean
+/// the garbage collector over-pruned — an invariant violation).
+RecoveryLine compute_recovery_line(
+    const std::vector<std::vector<ClcMeta>>& meta, ClusterId faulty);
+
+/// The garbage-collection bound (paper §3.5): for each cluster, the
+/// smallest SN it might roll back to across a simulated failure of every
+/// cluster in turn.  CLCs below this SN (and logged messages acknowledged
+/// below it) can never be needed again.
+std::vector<SeqNum> gc_min_restored_sns(
+    const std::vector<std::vector<ClcMeta>>& meta);
+
+}  // namespace hc3i::proto

@@ -1,0 +1,54 @@
+#pragma once
+
+// Application-state capture interface.
+//
+// The paper's process state is "all the data it needs to be restarted (the
+// virtual memory, list of opened files, sockets, ...)".  The simulator
+// abstracts that into AppSnapshot — an opaque progress marker plus a
+// modelled size — and AppHandle, the hooks a checkpointing protocol uses to
+// capture and restore one process.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hpp"
+#include "util/time.hpp"
+
+namespace hc3i::proto {
+
+/// A captured process state.
+struct AppSnapshot {
+  /// Monotone per-node progress counter at capture (completed work units).
+  std::uint64_t progress{0};
+  /// Virtual compute time accumulated at capture (lost-work accounting).
+  SimTime virtual_work{};
+  /// Modelled state size in bytes.
+  std::uint64_t state_bytes{0};
+  /// Opaque application words (e.g. RNG state under the PWD assumption the
+  /// pessimistic-logging baseline needs; empty otherwise).
+  std::vector<std::uint64_t> opaque;
+};
+
+/// Per-process hooks the protocol layer drives. Implemented by the workload
+/// (src/app) and by test fixtures.
+class AppHandle {
+ public:
+  virtual ~AppHandle() = default;
+
+  /// Capture the process state (cheap: the workload is synthetic).
+  virtual AppSnapshot snapshot() const = 0;
+
+  /// Stop all application activity immediately (cancel pending compute).
+  /// Called at the instant a rollback is decided; restore() follows once
+  /// the modelled state transfer completes.
+  virtual void freeze() = 0;
+
+  /// Restore the process to a previously captured state and resume
+  /// execution from there (the protocol has already cleaned the network).
+  virtual void restore(const AppSnapshot& snap) = 0;
+
+  /// Deliver an application message to the process.
+  virtual void deliver(const net::Envelope& env) = 0;
+};
+
+}  // namespace hc3i::proto

@@ -1,0 +1,46 @@
+#include "sim/event_queue.hpp"
+
+namespace hc3i::sim {
+
+EventId EventQueue::schedule(SimTime t, Callback cb) {
+  HC3I_CHECK(static_cast<bool>(cb), "schedule: empty callback");
+  const std::uint64_t seq = next_seq_++;
+  callbacks_.push_back(std::move(cb));
+  heap_.push(Entry{t, seq});
+  ++live_;
+  return EventId{seq};
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id.v >= callbacks_.size()) return;
+  if (callbacks_[id.v]) {
+    callbacks_[id.v] = nullptr;
+    --live_;
+  }
+}
+
+void EventQueue::drop_dead_top() const {
+  auto* self = const_cast<EventQueue*>(this);
+  while (!self->heap_.empty() && !self->callbacks_[self->heap_.top().seq]) {
+    self->heap_.pop();
+  }
+}
+
+SimTime EventQueue::peek_time() const {
+  HC3I_CHECK(!empty(), "peek_time on empty queue");
+  drop_dead_top();
+  return heap_.top().t;
+}
+
+std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
+  HC3I_CHECK(!empty(), "pop on empty queue");
+  drop_dead_top();
+  const Entry top = heap_.top();
+  heap_.pop();
+  Callback cb = std::move(callbacks_[top.seq]);
+  callbacks_[top.seq] = nullptr;
+  --live_;
+  return {top.t, std::move(cb)};
+}
+
+}  // namespace hc3i::sim

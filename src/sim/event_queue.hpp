@@ -1,0 +1,79 @@
+#pragma once
+
+// Pending-event set for the discrete-event simulator.
+//
+// A binary heap keyed on (time, sequence).  The sequence number makes
+// ordering of simultaneous events deterministic (FIFO in scheduling order),
+// which in turn makes whole simulations bit-reproducible — the property the
+// regression tests and the paper-reproduction benches depend on.
+//
+// Cancellation is O(1) lazily: a cancelled event stays in the heap and is
+// skipped when popped.  Timers (CLC periods are reset whenever a forced CLC
+// commits, paper §5.2) cancel and re-schedule constantly, so this matters.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/time.hpp"
+
+namespace hc3i::sim {
+
+/// Identifies a scheduled event; used to cancel it.
+struct EventId {
+  std::uint64_t v{0};
+  constexpr bool operator==(const EventId&) const = default;
+};
+
+/// The pending-event set.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `t`. Events at equal times fire in
+  /// scheduling order. Returns an id usable with cancel().
+  EventId schedule(SimTime t, Callback cb);
+
+  /// Cancel a scheduled event. Cancelling an already-fired or already-
+  /// cancelled event is a harmless no-op (timers race with their own firing).
+  void cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const { return live_ == 0; }
+
+  /// Number of live events.
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event; REQUIRES !empty().
+  SimTime peek_time() const;
+
+  /// Remove and return the earliest live event's callback and time.
+  /// REQUIRES !empty().
+  std::pair<SimTime, Callback> pop();
+
+  /// Total events ever scheduled (statistics).
+  std::uint64_t scheduled_count() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    SimTime t;
+    std::uint64_t seq;
+    bool operator>(const Entry& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  // Heap holds (time, seq); payloads live in a side table so cancel() does
+  // not need to touch the heap. The side table is keyed by seq.
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::vector<Callback> callbacks_;  // indexed by seq; empty fn == cancelled
+  std::uint64_t next_seq_{0};
+  std::size_t live_{0};
+
+  void drop_dead_top() const;
+};
+
+}  // namespace hc3i::sim

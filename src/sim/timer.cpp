@@ -1,0 +1,33 @@
+#include "sim/timer.hpp"
+
+namespace hc3i::sim {
+
+Timer::Timer(Simulation& sim, SimTime period, bool periodic, Callback cb)
+    : sim_(sim), period_(period), periodic_(periodic), cb_(std::move(cb)) {
+  HC3I_CHECK(static_cast<bool>(cb_), "Timer: empty callback");
+  HC3I_CHECK(period_.ns > 0, "Timer: period must be positive");
+}
+
+void Timer::arm() {
+  cancel();
+  if (period_.is_infinite()) return;  // "infinite delay" timers never fire
+  pending_ = sim_.schedule_after(period_, [this] { on_fire(); });
+}
+
+void Timer::cancel() {
+  if (pending_) {
+    sim_.cancel(*pending_);
+    pending_.reset();
+  }
+}
+
+void Timer::on_fire() {
+  pending_.reset();
+  ++fires_;
+  // Re-arm before invoking the callback so the callback may itself call
+  // reset() to change the phase (forced CLCs do exactly that).
+  if (periodic_) arm();
+  cb_();
+}
+
+}  // namespace hc3i::sim

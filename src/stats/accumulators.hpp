@@ -1,0 +1,95 @@
+#pragma once
+
+// Online statistical accumulators.
+//
+// The simulator's "lowest output is statistical data" (paper §5.1); these
+// accumulators gather it in one pass with O(1) memory: Welford mean/variance,
+// min/max, and a fixed-bin histogram for distributions (rollback depth, CLC
+// intervals, message latency).
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hc3i::stats {
+
+/// Running mean / variance / extrema (Welford's algorithm).
+class Summary {
+ public:
+  /// Add one observation.
+  void add(double x);
+
+  /// Number of observations.
+  std::uint64_t count() const { return n_; }
+  /// Arithmetic mean (0 when empty).
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance (0 with fewer than two observations).
+  double variance() const { return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1); }
+  /// Sample standard deviation.
+  double stddev() const;
+  /// Smallest observation (+inf when empty).
+  double min() const { return min_; }
+  /// Largest observation (-inf when empty).
+  double max() const { return max_; }
+  /// Sum of all observations.
+  double sum() const { return sum_; }
+
+  /// Merge another summary into this one (parallel-safe combination rule).
+  void merge(const Summary& other);
+
+ private:
+  std::uint64_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double sum_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range values land in
+/// saturating under/overflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Record one observation.
+  void add(double x);
+
+  /// Number of observations recorded (including under/overflow).
+  std::uint64_t count() const { return total_; }
+  /// Count in bin i.
+  std::uint64_t bin_count(std::size_t i) const;
+  /// Lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+  /// Value below which `q` (in [0,1]) of the mass lies, by linear
+  /// interpolation within the containing bin.
+  double quantile(double q) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_{0}, overflow_{0}, total_{0};
+};
+
+/// An (x, y) series, e.g. a metric sampled against a swept parameter.
+/// This is what the figure benches emit.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+
+  /// Append one point.
+  void add(double xv, double yv) {
+    x.push_back(xv);
+    y.push_back(yv);
+  }
+};
+
+}  // namespace hc3i::stats

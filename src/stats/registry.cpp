@@ -1,0 +1,50 @@
+#include "stats/registry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hc3i::stats {
+
+const Summary Registry::kEmptySummary;
+
+void Registry::inc(const std::string& name, std::uint64_t delta) {
+  counters_[name] += delta;
+}
+
+void Registry::set(const std::string& name, std::uint64_t value) {
+  counters_[name] = value;
+}
+
+void Registry::raise(const std::string& name, std::uint64_t value) {
+  auto& slot = counters_[name];
+  slot = std::max(slot, value);
+}
+
+std::uint64_t Registry::get(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void Registry::observe(const std::string& name, double x) {
+  summaries_[name].add(x);
+}
+
+const Summary& Registry::summary(const std::string& name) const {
+  const auto it = summaries_.find(name);
+  return it == summaries_.end() ? kEmptySummary : it->second;
+}
+
+std::vector<std::string> Registry::counter_names() const {
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [k, _] : counters_) names.push_back(k);
+  return names;
+}
+
+std::string Registry::dump() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : counters_) os << k << " = " << v << '\n';
+  return os.str();
+}
+
+}  // namespace hc3i::stats

@@ -1,0 +1,53 @@
+#pragma once
+
+// Named metric registry.
+//
+// Protocol components increment named counters ("clc.forced", "msg.inter",
+// "rollback.clusters", ...) without knowing who will read them; benches and
+// tests read them by name after the run.  One registry per simulation run —
+// never global, so parallel parameter sweeps don't share state.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/accumulators.hpp"
+
+namespace hc3i::stats {
+
+/// Per-run metric registry: monotonically increasing counters plus
+/// observation summaries.
+class Registry {
+ public:
+  /// Add `delta` to a named counter (creates it at zero first).
+  void inc(const std::string& name, std::uint64_t delta = 1);
+
+  /// Set a counter to an absolute value (gauges, e.g. high-water marks).
+  void set(const std::string& name, std::uint64_t value);
+
+  /// Raise a gauge to `value` if it is below it (high-water-mark update).
+  void raise(const std::string& name, std::uint64_t value);
+
+  /// Current value of a counter (0 if never touched).
+  std::uint64_t get(const std::string& name) const;
+
+  /// Record an observation into a named summary.
+  void observe(const std::string& name, double x);
+
+  /// Read a named summary (empty summary if never touched).
+  const Summary& summary(const std::string& name) const;
+
+  /// All counter names in lexicographic order (for dumps).
+  std::vector<std::string> counter_names() const;
+
+  /// Render every counter as "name = value" lines (debug output).
+  std::string dump() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Summary> summaries_;
+  static const Summary kEmptySummary;
+};
+
+}  // namespace hc3i::stats

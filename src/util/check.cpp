@@ -1,0 +1,15 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace hc3i::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "HC3I_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+}  // namespace hc3i::detail

@@ -1,0 +1,41 @@
+#pragma once
+
+// Invariant checking for the HC3I library.
+//
+// HC3I_CHECK is active in all build types: protocol correctness is the whole
+// point of this codebase, and the cost of the checks is negligible next to
+// event scheduling.  Failures throw CheckFailure (rather than aborting) so
+// tests can assert on violated invariants and the simulator driver can report
+// the simulated time at which an inconsistency was detected.
+
+#include <stdexcept>
+#include <string>
+
+namespace hc3i {
+
+/// Thrown when an HC3I_CHECK invariant is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& msg);
+}  // namespace detail
+
+/// Check an invariant; throws CheckFailure with location info when violated.
+/// The message argument is only evaluated on failure.
+#define HC3I_CHECK(expr, ...)                                       \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::hc3i::detail::check_failed(#expr, __FILE__, __LINE__,       \
+                                   ::std::string(__VA_ARGS__));     \
+    }                                                               \
+  } while (0)
+
+/// Mark unreachable code paths.
+#define HC3I_UNREACHABLE(msg) \
+  ::hc3i::detail::check_failed("unreachable", __FILE__, __LINE__, (msg))
+
+}  // namespace hc3i

@@ -1,0 +1,64 @@
+#include "util/flags.hpp"
+
+#include "util/check.hpp"
+#include "util/quantity.hpp"
+
+namespace hc3i {
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      f.positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    HC3I_CHECK(!arg.empty(), "bare '--' is not a valid flag");
+    // Only --name=value and bare --name (boolean) are supported; the
+    // space-separated form is ambiguous next to positional arguments.
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      f.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      f.values_[arg] = "true";
+    }
+  }
+  return f;
+}
+
+std::string Flags::get(const std::string& name, const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const auto v = parse_double(it->second);
+  HC3I_CHECK(v.has_value(), "flag --" + name + " is not a number: " + it->second);
+  return static_cast<std::int64_t>(*v);
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const auto v = parse_double(it->second);
+  HC3I_CHECK(v.has_value(), "flag --" + name + " is not a number: " + it->second);
+  return *v;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> Flags::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace hc3i

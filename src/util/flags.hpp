@@ -1,0 +1,46 @@
+#pragma once
+
+// Minimal command-line flag parsing for the examples and bench binaries.
+//
+// Syntax: --name=value or --name value; bare --name sets a boolean flag.
+// Unknown flags are an error (typos in experiment sweeps should fail loudly,
+// not silently run the default configuration).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hc3i {
+
+/// Parsed command line: flag map plus positional arguments.
+class Flags {
+ public:
+  /// Parse argv. Throws CheckFailure on malformed input.
+  static Flags parse(int argc, const char* const* argv);
+
+  /// String flag with default.
+  std::string get(const std::string& name, const std::string& def) const;
+  /// Integer flag with default (throws if present but unparsable).
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  /// Floating-point flag with default.
+  double get_double(const std::string& name, double def) const;
+  /// Boolean flag: present (with no value or "true"/"1") => true.
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// True if the flag appeared on the command line.
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names of all flags that were set (for unknown-flag validation).
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hc3i

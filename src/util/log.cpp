@@ -1,0 +1,28 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace hc3i {
+
+namespace {
+TraceLevel g_level = TraceLevel::kStats;
+TraceSink g_sink;  // empty => stderr
+}  // namespace
+
+TraceLevel Trace::level() { return g_level; }
+
+void Trace::set_level(TraceLevel lv) { g_level = lv; }
+
+void Trace::set_sink(TraceSink sink) { g_sink = std::move(sink); }
+
+void Trace::emit(TraceLevel lv, SimTime t, const std::string& line) {
+  if (g_level < lv) return;
+  const std::string full = "[" + to_string(t) + "] " + line;
+  if (g_sink) {
+    g_sink(full);
+  } else {
+    std::fprintf(stderr, "%s\n", full.c_str());
+  }
+}
+
+}  // namespace hc3i

@@ -1,0 +1,61 @@
+#pragma once
+
+// Trace logging for the simulator.
+//
+// The paper (§5.1): "The simulator can be compiled with different trace
+// levels.  With the higher trace level, we can observe each node
+// time-stamped action (sends, receives, timer interruptions, log searches
+// ...). The lowest simulator output is statistical data."
+//
+// We keep the same tiers but select them at runtime: kStats (default, only
+// end-of-run statistics), kProtocol (checkpoints / rollbacks / GC), kAction
+// (every node action, time-stamped).  The logger is deliberately a tiny
+// global: simulations are single-threaded and the hot path must stay cheap
+// when tracing is off (one branch on an int).
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace hc3i {
+
+/// Trace verbosity tiers (paper §5.1 "trace levels").
+enum class TraceLevel : int {
+  kOff = 0,       ///< nothing at all
+  kStats = 1,     ///< end-of-run statistics only (paper's lowest output)
+  kProtocol = 2,  ///< protocol milestones: CLCs, rollbacks, GC rounds
+  kAction = 3,    ///< every time-stamped node action (paper's highest level)
+};
+
+/// Where a trace line goes. Default prints to stderr; tests install a
+/// capturing sink.
+using TraceSink = std::function<void(const std::string& line)>;
+
+/// Global trace configuration.
+class Trace {
+ public:
+  static TraceLevel level();
+  static void set_level(TraceLevel lv);
+  /// Replace the output sink (empty function restores stderr).
+  static void set_sink(TraceSink sink);
+  /// Emit one line at the given level (no-op if below the active level).
+  static void emit(TraceLevel lv, SimTime t, const std::string& line);
+  /// True if lines at `lv` are currently emitted (guards formatting cost).
+  static bool enabled(TraceLevel lv) { return level() >= lv; }
+};
+
+}  // namespace hc3i
+
+/// Convenience macro: formats only when the level is active.
+/// Usage: HC3I_TRACE(kProtocol, now, "cluster " << c << " committed CLC");
+#define HC3I_TRACE(lvl, now, stream_expr)                                  \
+  do {                                                                     \
+    if (::hc3i::Trace::enabled(::hc3i::TraceLevel::lvl)) {                 \
+      std::ostringstream hc3i_trace_os_;                                   \
+      hc3i_trace_os_ << stream_expr;                                       \
+      ::hc3i::Trace::emit(::hc3i::TraceLevel::lvl, (now),                  \
+                          hc3i_trace_os_.str());                           \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,172 @@
+#include "util/quantity.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace hc3i {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// Split "<number><unit>" (whitespace between them allowed).
+/// Returns false if no leading number is present.
+bool split_number_unit(std::string_view text, double& value,
+                       std::string_view& unit) {
+  text = trim(text);
+  if (text.empty()) return false;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  double v = 0.0;
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr == begin) return false;
+  value = v;
+  unit = trim(std::string_view(ptr, static_cast<std::size_t>(end - ptr)));
+  return true;
+}
+
+std::string lower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c))));
+  return out;
+}
+
+}  // namespace
+
+std::optional<SimTime> parse_duration(std::string_view text) {
+  if (lower(std::string(trim(text))) == "inf") return SimTime::infinity();
+  double v = 0.0;
+  std::string_view unit_sv;
+  if (!split_number_unit(text, v, unit_sv)) return std::nullopt;
+  if (v < 0.0 || !std::isfinite(v)) return std::nullopt;
+  const std::string unit = lower(unit_sv);
+  double seconds_per_unit = 0.0;
+  if (unit == "ns") {
+    seconds_per_unit = 1e-9;
+  } else if (unit == "us") {
+    seconds_per_unit = 1e-6;
+  } else if (unit == "ms") {
+    seconds_per_unit = 1e-3;
+  } else if (unit == "s" || unit == "sec" || unit.empty()) {
+    // A bare number is seconds except bare zero, which is unambiguous.
+    seconds_per_unit = 1.0;
+  } else if (unit == "min" || unit == "m") {
+    seconds_per_unit = 60.0;
+  } else if (unit == "h" || unit == "hr") {
+    seconds_per_unit = 3600.0;
+  } else if (unit == "inf" ) {
+    return SimTime::infinity();
+  } else {
+    return std::nullopt;
+  }
+  const double total = v * seconds_per_unit;
+  if (total * 1e9 >= 9.2e18) return SimTime::infinity();
+  return from_seconds_f(total);
+}
+
+std::optional<double> parse_bandwidth(std::string_view text) {
+  // Special-case the bare word "inf" for tests that want a zero-cost link.
+  if (lower(std::string(trim(text))) == "inf")
+    return std::numeric_limits<double>::infinity();
+  double v = 0.0;
+  std::string_view unit_sv;
+  if (!split_number_unit(text, v, unit_sv)) return std::nullopt;
+  if (v < 0.0 || !std::isfinite(v)) return std::nullopt;
+  std::string unit(unit_sv);
+  // Strip a trailing "/s" or "ps" ("Mbps") — case-insensitive.
+  const std::string lowered = lower(unit);
+  if (lowered.size() >= 2 && lowered.compare(lowered.size() - 2, 2, "/s") == 0) {
+    unit.erase(unit.size() - 2);
+  } else if (lowered.size() >= 3 &&
+             lowered.compare(lowered.size() - 3, 3, "bps") == 0) {
+    unit.erase(unit.size() - 2);  // keep the 'b'
+  }
+  if (unit.empty()) return std::nullopt;
+  // The trailing letter's case distinguishes bits ('b') from bytes ('B'),
+  // as in networking convention: 80Mb/s vs 80MB/s.
+  const char last = unit.back();
+  const bool bytes = last == 'B';
+  if (last != 'b' && last != 'B') return std::nullopt;
+  const std::string prefix = lower(unit.substr(0, unit.size() - 1));
+  double scale = 0.0;
+  if (prefix.empty()) {
+    scale = 1.0;
+  } else if (prefix == "k") {
+    scale = 1e3;
+  } else if (prefix == "m") {
+    scale = 1e6;
+  } else if (prefix == "g") {
+    scale = 1e9;
+  } else {
+    return std::nullopt;
+  }
+  const double units_per_sec = v * scale;
+  return bytes ? units_per_sec : units_per_sec / 8.0;  // bytes per second
+}
+
+std::optional<std::uint64_t> parse_bytes(std::string_view text) {
+  double v = 0.0;
+  std::string_view unit_sv;
+  if (!split_number_unit(text, v, unit_sv)) return std::nullopt;
+  if (v < 0.0 || !std::isfinite(v)) return std::nullopt;
+  const std::string unit = lower(unit_sv);
+  double scale = 0.0;
+  if (unit.empty() || unit == "b") {
+    scale = 1.0;
+  } else if (unit == "kb" || unit == "kib" || unit == "k") {
+    scale = 1024.0;
+  } else if (unit == "mb" || unit == "mib" || unit == "m") {
+    scale = 1024.0 * 1024.0;
+  } else if (unit == "gb" || unit == "gib" || unit == "g") {
+    scale = 1024.0 * 1024.0 * 1024.0;
+  } else {
+    return std::nullopt;
+  }
+  const double total = v * scale;
+  if (total >= 1.8e19) return std::nullopt;
+  return static_cast<std::uint64_t>(std::llround(total));
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  text = trim(text);
+  double v = 0.0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::uint64_t> parse_uint(std::string_view text) {
+  text = trim(text);
+  std::uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return v;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof buf, "%lluB", static_cast<unsigned long long>(bytes));
+  } else if (bytes < 1024ULL * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1fKB", static_cast<double>(bytes) / 1024.0);
+  } else if (bytes < 1024ULL * 1024 * 1024) {
+    std::snprintf(buf, sizeof buf, "%.1fMB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fGB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+}  // namespace hc3i

@@ -1,0 +1,42 @@
+#pragma once
+
+// Human-readable quantity parsing / formatting.
+//
+// The paper's simulator is driven by three text configuration files whose
+// values are physical quantities ("10us" latency, "80Mb/s" bandwidth, "10h"
+// total time, "8MB" state size).  This module parses and prints them.
+// Bit quantities use decimal SI prefixes (networking convention: 80Mb/s =
+// 80e6 bit/s); byte quantities use binary prefixes (8MB = 8*2^20 bytes).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/time.hpp"
+
+namespace hc3i {
+
+/// Parse a duration such as "10us", "150 us", "30min", "10h", "2.5s", "0".
+/// Accepted units: ns, us, ms, s, sec, min, m (minutes), h, hr.
+/// Returns std::nullopt on malformed input.
+std::optional<SimTime> parse_duration(std::string_view text);
+
+/// Parse a bandwidth such as "80Mb/s", "100Mbps", "1Gb/s", "9600b/s".
+/// Result is in bytes per second (bits / 8). Decimal SI prefixes.
+std::optional<double> parse_bandwidth(std::string_view text);
+
+/// Parse a byte size such as "8MB", "64KB", "1GB", "512B", "4096".
+/// Binary prefixes (1KB = 1024 B). A bare number is bytes.
+std::optional<std::uint64_t> parse_bytes(std::string_view text);
+
+/// Parse a plain floating-point number (locale-independent).
+std::optional<double> parse_double(std::string_view text);
+
+/// Parse a non-negative integer.
+std::optional<std::uint64_t> parse_uint(std::string_view text);
+
+/// Format a byte count compactly: "8.0MB", "512B".
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace hc3i

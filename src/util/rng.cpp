@@ -1,0 +1,99 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hc3i {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+RngStream::RngStream(std::uint64_t master_seed, std::uint64_t stream_id) {
+  // Mix the stream id into the seed, then expand with SplitMix64 as the
+  // xoshiro authors recommend. The golden-ratio multiplier decorrelates
+  // consecutive stream ids.
+  std::uint64_t sm = master_seed ^ (stream_id * 0x9E3779B97F4A7C15ULL + 1);
+  for (auto& word : s_) word = splitmix64(sm);
+  // All-zero state is the one invalid xoshiro state; SplitMix64 cannot
+  // produce four zero outputs in a row, but keep the guard explicit.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+std::uint64_t RngStream::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double RngStream::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t RngStream::next_below(std::uint64_t bound) {
+  HC3I_CHECK(bound > 0, "next_below: bound must be positive");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // (2^64 - bound) mod bound
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) {
+  HC3I_CHECK(lo <= hi, "uniform_int: empty range");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+bool RngStream::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double RngStream::exponential(double mean) {
+  HC3I_CHECK(mean > 0.0, "exponential: mean must be positive");
+  // Inverse CDF; 1 - u in (0, 1] so the log argument is never zero.
+  const double u = next_double();
+  return -mean * std::log1p(-u);
+}
+
+std::size_t RngStream::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    HC3I_CHECK(w >= 0.0, "weighted_index: negative weight");
+    total += w;
+  }
+  HC3I_CHECK(total > 0.0, "weighted_index: all weights are zero");
+  double x = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  // Floating-point edge: fall back to the last positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  HC3I_UNREACHABLE("weighted_index: no positive weight found");
+}
+
+}  // namespace hc3i

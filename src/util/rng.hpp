@@ -1,0 +1,65 @@
+#pragma once
+
+// Deterministic random-number generation.
+//
+// The simulator must be bit-reproducible from a single master seed, across
+// platforms and regardless of how many entities draw random numbers.  Every
+// entity (node, failure injector, workload generator, ...) therefore owns its
+// own RngStream, derived from (master seed, stream id) with SplitMix64, so
+// adding a consumer never perturbs the draws seen by existing consumers.
+//
+// The core generator is xoshiro256** 1.0 (Blackman & Vigna, public domain
+// reference implementation re-derived here), a small, fast, high-quality
+// generator; std::mt19937_64 is avoided because its distribution helpers are
+// not specified bit-exactly across standard libraries.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace hc3i {
+
+/// SplitMix64 step; used to expand seeds. Public-domain algorithm.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// An independent random stream.  Copyable (copying forks the exact state,
+/// which some tests use to replay a decision sequence).
+class RngStream {
+ public:
+  /// Derive a stream from a master seed and a stream identifier.
+  /// Distinct (seed, stream) pairs produce statistically independent streams.
+  RngStream(std::uint64_t master_seed, std::uint64_t stream_id);
+
+  /// Next raw 64-bit value (xoshiro256**).
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double();
+
+  /// Uniform integer in [0, bound) using rejection sampling (unbiased).
+  /// bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponential variate with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Sample an index from an unnormalised non-negative weight vector.
+  /// At least one weight must be positive.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Export the generator state (checkpointing under the PWD assumption).
+  std::array<std::uint64_t, 4> state() const { return s_; }
+  /// Restore a previously exported state.
+  void set_state(const std::array<std::uint64_t, 4>& s) { s_ = s; }
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace hc3i

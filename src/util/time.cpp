@@ -1,0 +1,47 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace hc3i {
+
+SimTime from_seconds_f(double s) {
+  HC3I_CHECK(std::isfinite(s), "from_seconds_f: non-finite seconds value");
+  HC3I_CHECK(s >= 0.0, "from_seconds_f: negative duration");
+  const double ns = s * 1e9;
+  HC3I_CHECK(ns < 9.2e18, "from_seconds_f: duration overflows SimTime");
+  return SimTime{static_cast<std::int64_t>(std::llround(ns))};
+}
+
+std::string to_string(SimTime t) {
+  if (t.is_infinite()) return "inf";
+  if (t.ns == 0) return "0";
+  char buf[64];
+  const std::int64_t ns = t.ns;
+  if (ns < 1'000) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  } else if (ns < 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3gus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3gms", static_cast<double>(ns) / 1e6);
+  } else if (ns < 60LL * 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.4gs", static_cast<double>(ns) / 1e9);
+  } else {
+    const std::int64_t total_s = ns / 1'000'000'000;
+    const std::int64_t h = total_s / 3600;
+    const std::int64_t m = (total_s % 3600) / 60;
+    const double s = static_cast<double>(ns % 60'000'000'000) / 1e9;
+    if (h > 0) {
+      std::snprintf(buf, sizeof buf, "%lldh%02lldm%04.1fs",
+                    static_cast<long long>(h), static_cast<long long>(m), s);
+    } else {
+      std::snprintf(buf, sizeof buf, "%lldm%04.1fs", static_cast<long long>(m),
+                    s);
+    }
+  }
+  return buf;
+}
+
+}  // namespace hc3i

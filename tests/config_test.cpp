@@ -1,0 +1,222 @@
+// Unit tests for src/config: the three file formats, round trips, presets.
+
+#include <gtest/gtest.h>
+
+#include "config/parser.hpp"
+#include "config/presets.hpp"
+#include "config/writer.hpp"
+
+namespace hc3i::config {
+namespace {
+
+constexpr const char* kTopology = R"(
+# reference topology (paper 5.2)
+[federation]
+clusters = 2
+mtbf = 100h
+
+[cluster 0]
+nodes = 100
+latency = 10us
+bandwidth = 80Mb/s
+
+[cluster 1]
+nodes = 100
+latency = 10us
+bandwidth = 80Mb/s
+
+[link 0 1]
+latency = 150us
+bandwidth = 100Mb/s
+)";
+
+TEST(Parser, SectionsAndComments) {
+  const auto sections = parse_sections("# c\n[alpha 1 2]\nk = v # trail\n", "t");
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].name, "alpha");
+  EXPECT_EQ(sections[0].args, (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(sections[0].values.at("k"), "v");
+}
+
+TEST(Parser, RejectsMalformedLines) {
+  EXPECT_THROW(parse_sections("[unterminated\n", "t"), ParseError);
+  EXPECT_THROW(parse_sections("key = early\n", "t"), ParseError);
+  EXPECT_THROW(parse_sections("[s]\nno equals\n", "t"), ParseError);
+  EXPECT_THROW(parse_sections("[s]\nk=1\nk=2\n", "t"), ParseError);
+  EXPECT_THROW(parse_sections("[]\n", "t"), ParseError);
+}
+
+TEST(Topology, ParsesReference) {
+  const TopologySpec topo = parse_topology(kTopology);
+  EXPECT_EQ(topo.cluster_count(), 2u);
+  EXPECT_EQ(topo.total_nodes(), 200u);
+  EXPECT_EQ(topo.clusters[0].san.latency, microseconds(10));
+  EXPECT_DOUBLE_EQ(topo.clusters[0].san.bytes_per_sec, 80e6 / 8);
+  EXPECT_EQ(topo.inter_link(ClusterId{0}, ClusterId{1}).latency,
+            microseconds(150));
+  EXPECT_EQ(topo.mtbf, hours(100));
+}
+
+TEST(Topology, RejectsInconsistency) {
+  EXPECT_THROW(parse_topology("[cluster 0]\nnodes=2\n"), ParseError);  // no fed
+  EXPECT_THROW(parse_topology("[federation]\nclusters = 2\n"), ParseError);
+  EXPECT_THROW(parse_topology("[federation]\nclusters = 1\n"
+                              "[cluster 0]\nnodes = 0\nlatency = 1us\n"
+                              "bandwidth = 1Mb/s\n"),
+               CheckFailure);  // zero nodes fails validation
+  EXPECT_THROW(parse_topology("[federation]\nclusters = 1\n"
+                              "[cluster 7]\nnodes = 1\nlatency = 1us\n"
+                              "bandwidth = 1Mb/s\n"),
+               ParseError);  // index out of range
+}
+
+TEST(Application, ParsesAndValidates) {
+  const TopologySpec topo = parse_topology(kTopology);
+  const auto app = parse_application(R"(
+[application]
+total_time = 10h
+state_size = 8MB
+
+[cluster 0]
+mean_compute = 2min
+message_size = 10KB
+
+[cluster 1]
+mean_compute = 3min
+
+[traffic 0]
+0 = 0.95
+1 = 0.05
+
+[traffic 1]
+1 = 1.0
+)",
+                                     topo);
+  EXPECT_EQ(app.total_time, hours(10));
+  EXPECT_EQ(app.state_bytes, 8u * 1024 * 1024);
+  EXPECT_EQ(app.clusters[0].mean_compute, minutes(2));
+  EXPECT_DOUBLE_EQ(app.clusters[0].traffic[1], 0.05);
+  EXPECT_DOUBLE_EQ(app.clusters[1].traffic[0], 0.0);
+}
+
+TEST(Application, RejectsBadTraffic) {
+  const TopologySpec topo = parse_topology(kTopology);
+  EXPECT_THROW(parse_application(R"(
+[application]
+total_time = 1h
+[cluster 0]
+mean_compute = 1min
+[cluster 1]
+mean_compute = 1min
+[traffic 0]
+5 = 1.0
+)",
+                                 topo),
+               ParseError);
+}
+
+TEST(Timers, ParsesWithDefaults) {
+  const TopologySpec topo = parse_topology(kTopology);
+  const auto timers = parse_timers(R"(
+[timers]
+gc_period = 2h
+detection_delay = 100ms
+
+[cluster 0]
+clc_period = 30min
+
+[cluster 1]
+clc_period = inf
+)",
+                                   topo);
+  EXPECT_EQ(timers.gc_period, hours(2));
+  EXPECT_EQ(timers.clusters[0].clc_period, minutes(30));
+  EXPECT_TRUE(timers.clusters[1].clc_period.is_infinite());
+}
+
+TEST(Writer, TopologyRoundTrips) {
+  const TopologySpec topo = paper_reference_topology();
+  const TopologySpec again = parse_topology(write_topology(topo));
+  EXPECT_EQ(again.cluster_count(), topo.cluster_count());
+  EXPECT_EQ(again.clusters[0].nodes, topo.clusters[0].nodes);
+  EXPECT_EQ(again.clusters[0].san.latency, topo.clusters[0].san.latency);
+  EXPECT_DOUBLE_EQ(again.inter_link(ClusterId{0}, ClusterId{1}).bytes_per_sec,
+                   topo.inter_link(ClusterId{0}, ClusterId{1}).bytes_per_sec);
+  EXPECT_EQ(again.mtbf, topo.mtbf);
+}
+
+TEST(Writer, ApplicationRoundTrips) {
+  const TopologySpec topo = paper_reference_topology();
+  const ApplicationSpec app = paper_reference_application();
+  const ApplicationSpec again = parse_application(write_application(app), topo);
+  EXPECT_EQ(again.total_time, app.total_time);
+  EXPECT_EQ(again.state_bytes, app.state_bytes);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(again.clusters[c].mean_compute, app.clusters[c].mean_compute);
+    EXPECT_EQ(again.clusters[c].traffic, app.clusters[c].traffic);
+  }
+}
+
+TEST(Writer, TimersRoundTrip) {
+  const TopologySpec topo = paper_reference_topology();
+  const TimersSpec timers =
+      paper_reference_timers(minutes(30), SimTime::infinity(), hours(2));
+  const TimersSpec again = parse_timers(write_timers(timers), topo);
+  EXPECT_EQ(again.clusters[0].clc_period, minutes(30));
+  EXPECT_TRUE(again.clusters[1].clc_period.is_infinite());
+  EXPECT_EQ(again.gc_period, hours(2));
+}
+
+TEST(Writer, QuantityTextForms) {
+  EXPECT_EQ(duration_text(minutes(30)), "30min");
+  EXPECT_EQ(duration_text(microseconds(150)), "150us");
+  EXPECT_EQ(duration_text(SimTime::infinity()), "inf");
+  EXPECT_EQ(bandwidth_text(80e6 / 8), "80Mb/s");
+  EXPECT_EQ(bytes_text(8u * 1024 * 1024), "8MB");
+}
+
+TEST(Presets, ReferenceMatchesPaperParameters) {
+  const TopologySpec topo = paper_reference_topology();
+  EXPECT_EQ(topo.cluster_count(), 2u);
+  EXPECT_EQ(topo.clusters[0].nodes, 100u);
+  EXPECT_EQ(topo.clusters[0].san.latency, microseconds(10));   // Myrinet-like
+  EXPECT_EQ(topo.inter_link(ClusterId{0}, ClusterId{1}).latency,
+            microseconds(150));                                 // Ethernet-like
+  const ApplicationSpec app = paper_reference_application();
+  EXPECT_EQ(app.total_time, hours(10));
+  // Expected sends over 10 h match the Table 1 census.
+  const double sends0 =
+      app.total_time.seconds() / app.clusters[0].mean_compute.seconds() * 100;
+  EXPECT_NEAR(sends0, 2920 + 145, 1.0);
+  const double inter0 = sends0 * app.clusters[0].traffic[1] /
+                        (app.clusters[0].traffic[0] + app.clusters[0].traffic[1]);
+  EXPECT_NEAR(inter0, 145, 0.5);
+}
+
+TEST(Presets, ThreeClusterShape) {
+  const TopologySpec topo = paper_three_cluster_topology();
+  EXPECT_EQ(topo.cluster_count(), 3u);
+  const ApplicationSpec app = paper_three_cluster_application();
+  // "approximately 200 messages that leave ... each cluster"
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto& row = app.clusters[c].traffic;
+    double inter = 0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (j != c) inter += row[j];
+    }
+    const double total = inter + row[c];
+    const double sends =
+        app.total_time.seconds() / app.clusters[c].mean_compute.seconds() * 100;
+    EXPECT_NEAR(sends * inter / total, 200, 1.0);
+  }
+}
+
+TEST(Presets, SmallSpecValidates) {
+  for (std::size_t clusters : {1u, 2u, 3u, 4u}) {
+    const RunSpec spec = small_test_spec(clusters, 4);
+    EXPECT_NO_THROW(spec.validate());
+  }
+}
+
+}  // namespace
+}  // namespace hc3i::config

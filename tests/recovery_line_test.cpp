@@ -1,0 +1,208 @@
+// Tests for the pure recovery-line computation — including a mechanised
+// replay of the paper's worked example (Figure 5).
+
+#include <gtest/gtest.h>
+
+#include "proto/recovery_line.hpp"
+#include "util/rng.hpp"
+
+namespace hc3i::proto {
+namespace {
+
+ClcMeta meta(std::vector<SeqNum> entries, std::size_t self) {
+  ClcMeta m;
+  m.sn = entries[self];
+  m.ddv = Ddv(entries.size(), ClusterId{static_cast<std::uint32_t>(self)}, 0);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    m.ddv.set(ClusterId{static_cast<std::uint32_t>(i)}, entries[i]);
+  }
+  return m;
+}
+
+/// The paper's Figure 5 execution, reconstructed from the prose of §4:
+///   * every cluster stores its initial CLC (SN 1);
+///   * m1 (C1 SN 1 -> C2) forces CLC2 in cluster 2 -> DDV (1, 2, 0);
+///   * cluster 1 stores unforced CLCs; m3/m4 from C2 force CLCs in C3;
+///   * m5 from C3 forces a CLC in C1.
+/// Using 0-based cluster indices (paper's cluster k = index k-1), the
+/// stored lists when the fault hits cluster 2 (index 1) are:
+std::vector<std::vector<ClcMeta>> figure5_state() {
+  std::vector<std::vector<ClcMeta>> state(3);
+  // Cluster index 0 (paper C1): initial, unforced x2, then forced by m5
+  // carrying C3's SN 4 (paper: rolls back to "its last CLC which has 4 in
+  // cluster 3's entry").
+  state[0] = {meta({1, 0, 0}, 0), meta({2, 0, 0}, 0), meta({3, 0, 0}, 0),
+              meta({4, 0, 4}, 0)};
+  // Cluster index 1 (paper C2): initial, forced by m1 (C1 SN 1), then a
+  // later CLC; its last stored CLC has SN 3.
+  state[1] = {meta({0, 1, 0}, 1), meta({1, 2, 0}, 1), meta({1, 3, 0}, 1)};
+  // Cluster index 2 (paper C3): initial, forced by m3 (C2 SN 2), forced by
+  // m4 (C2 SN 3), then one more.
+  state[2] = {meta({0, 0, 1}, 2), meta({0, 2, 2}, 2), meta({0, 3, 3}, 2),
+              meta({0, 3, 4}, 2)};
+  return state;
+}
+
+TEST(RecoveryLine, PaperFigure5FaultInCluster2) {
+  const auto state = figure5_state();
+  // Fault in paper-C2 (index 1): it restores its last stored CLC, SN 3.
+  const RecoveryLine line = compute_recovery_line(state, ClusterId{1});
+  EXPECT_TRUE(line.rolled_back[1]);
+  EXPECT_EQ(line.restored[1], 3u);
+
+  // "Cluster 1 does not have any cluster 2 DDV entry greater than or equal
+  // to the received SN ... it does not need to rollback" — from C2's alert
+  // alone.  But cluster 3 must roll back to its CLC with C2-entry == 3,
+  // whose SN is 3; its alert (SN 3) then forces cluster 1 back to its CLC
+  // with 4 in cluster 3's entry... which is its last CLC (SN 4), and the
+  // cascade stops ("no cluster has to rollback anymore").
+  EXPECT_TRUE(line.rolled_back[2]);
+  EXPECT_EQ(line.restored[2], 3u);
+  EXPECT_TRUE(line.rolled_back[0]);
+  EXPECT_EQ(line.restored[0], 4u);
+}
+
+TEST(RecoveryLine, FaultWithoutDependenciesIsLocal) {
+  // Cluster 2 never received anything: a fault there rolls back only itself.
+  auto state = figure5_state();
+  state[2] = {meta({0, 0, 1}, 2), meta({0, 0, 2}, 2)};
+  state[0] = {meta({1, 0, 0}, 0), meta({2, 0, 0}, 0)};
+  const RecoveryLine line = compute_recovery_line(state, ClusterId{2});
+  EXPECT_TRUE(line.rolled_back[2]);
+  EXPECT_FALSE(line.rolled_back[0]);
+  EXPECT_FALSE(line.rolled_back[1]);
+  EXPECT_EQ(line.restored[0], 2u);  // untouched
+}
+
+TEST(RecoveryLine, FaultRestoresOwnLastClc) {
+  const auto state = figure5_state();
+  const RecoveryLine line = compute_recovery_line(state, ClusterId{0});
+  EXPECT_TRUE(line.rolled_back[0]);
+  EXPECT_EQ(line.restored[0], 4u);  // its own last CLC
+  // Nobody depends on cluster 0 beyond what their stored DDVs cover:
+  // cluster 1's DDV[0] is 1 < 4, cluster 2's is 0 < 4.
+  EXPECT_FALSE(line.rolled_back[1]);
+  EXPECT_FALSE(line.rolled_back[2]);
+}
+
+TEST(RecoveryLine, CascadePropagatesTransitively) {
+  // C0 -> C1 -> C2 dependency chain: a fault in 0 drags everyone back.
+  std::vector<std::vector<ClcMeta>> state(3);
+  state[0] = {meta({1, 0, 0}, 0), meta({2, 0, 0}, 0), meta({3, 0, 0}, 0)};
+  // C1 was forced by a message carrying C0's SN 3 (its CLC 2), then sent on.
+  state[1] = {meta({0, 1, 0}, 1), meta({3, 2, 0}, 1)};
+  // C2 was forced by a message carrying C1's SN 2.
+  state[2] = {meta({0, 0, 1}, 2), meta({0, 2, 2}, 2)};
+  // Fault in C0: restores SN 3. C1's DDV[0] = 3 >= 3 -> rolls to CLC sn=2.
+  // C2's DDV[1] = 2 >= 2 -> rolls to its CLC sn=2.
+  const RecoveryLine line = compute_recovery_line(state, ClusterId{0});
+  EXPECT_EQ(line.restored[0], 3u);
+  EXPECT_TRUE(line.rolled_back[1]);
+  EXPECT_EQ(line.restored[1], 2u);
+  EXPECT_TRUE(line.rolled_back[2]);
+  EXPECT_EQ(line.restored[2], 2u);
+}
+
+TEST(RecoveryLine, RollbackTargetIsOldestQualifying) {
+  std::vector<std::vector<ClcMeta>> state(2);
+  state[0] = {meta({1, 0}, 0), meta({2, 0}, 0), meta({3, 0}, 0)};
+  // Cluster 1 saw C0's SN 2 early (CLC sn=2) and again later (sn=3, 4).
+  state[1] = {meta({0, 1}, 1), meta({2, 2}, 1), meta({2, 3}, 1),
+              meta({3, 4}, 1)};
+  // C0 cascades... directly fault C0 restoring SN 3; entry >= 3 first at
+  // cluster 1's sn=4; but fault restores C0's LAST (sn=3), so alert SN is 3:
+  // oldest CLC with ddv[0] >= 3 is sn=4.
+  const RecoveryLine line = compute_recovery_line(state, ClusterId{0});
+  EXPECT_TRUE(line.rolled_back[1]);
+  EXPECT_EQ(line.restored[1], 4u);
+}
+
+TEST(RecoveryLine, MissingInitialCheckpointThrows) {
+  std::vector<std::vector<ClcMeta>> state(2);
+  state[0] = {meta({1, 0}, 0)};
+  state[1] = {};  // no stored CLC at all
+  EXPECT_THROW(compute_recovery_line(state, ClusterId{0}), CheckFailure);
+}
+
+TEST(RecoveryLine, UnorderedMetadataThrows) {
+  std::vector<std::vector<ClcMeta>> state(1);
+  state[0] = {meta({2}, 0), meta({1}, 0)};
+  EXPECT_THROW(compute_recovery_line(state, ClusterId{0}), CheckFailure);
+}
+
+TEST(GcMinSns, Figure5Bound) {
+  const auto state = figure5_state();
+  const std::vector<SeqNum> mins = gc_min_restored_sns(state);
+  // Worst case per cluster over the three failure scenarios; pruning below
+  // these SNs can never remove a rollback target.
+  ASSERT_EQ(mins.size(), 3u);
+  EXPECT_EQ(mins[1], 3u);   // cluster 2 restores its last CLC in every case
+  EXPECT_LE(mins[0], 4u);
+  EXPECT_LE(mins[2], 3u);
+  // Re-running the recovery line on the pruned lists must still succeed.
+  auto pruned = state;
+  for (std::size_t c = 0; c < pruned.size(); ++c) {
+    auto& list = pruned[c];
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](const ClcMeta& m) { return m.sn < mins[c]; }),
+               list.end());
+    ASSERT_FALSE(list.empty());
+  }
+  for (std::uint32_t f = 0; f < 3; ++f) {
+    EXPECT_NO_THROW(compute_recovery_line(pruned, ClusterId{f}));
+  }
+}
+
+// Property: GC pruning at the computed bound never breaks any later
+// recovery line, across random dependency structures.
+class GcSafetyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GcSafetyProperty, PruneThenRecoverAlwaysWorks) {
+  RngStream rng(GetParam(), 0);
+  const std::size_t n = 2 + rng.next_below(3);  // 2..4 clusters
+  // Build random-but-wellformed checkpoint metadata: SNs increase by 1;
+  // a cluster's entry for peer p only moves up, never past p's max SN.
+  std::vector<std::vector<ClcMeta>> state(n);
+  std::vector<SeqNum> max_sn(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    max_sn[c] = 2 + static_cast<SeqNum>(rng.next_below(6));
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    std::vector<SeqNum> entries(n, 0);
+    for (SeqNum sn = 1; sn <= max_sn[c]; ++sn) {
+      entries[c] = sn;
+      for (std::size_t p = 0; p < n; ++p) {
+        if (p == c) continue;
+        // Occasionally observe a fresher SN from p (bounded by p's max).
+        if (rng.bernoulli(0.4)) {
+          const SeqNum cap = max_sn[p];
+          const SeqNum bump = entries[p] + 1 + static_cast<SeqNum>(rng.next_below(2));
+          entries[p] = std::min<SeqNum>(cap, std::max(entries[p], bump));
+        }
+      }
+      state[c].push_back(meta(entries, c));
+    }
+  }
+  const std::vector<SeqNum> mins = gc_min_restored_sns(state);
+  auto pruned = state;
+  for (std::size_t c = 0; c < n; ++c) {
+    auto& list = pruned[c];
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [&](const ClcMeta& m) { return m.sn < mins[c]; }),
+               list.end());
+    ASSERT_FALSE(list.empty()) << "GC removed every checkpoint";
+  }
+  for (std::uint32_t f = 0; f < n; ++f) {
+    RecoveryLine before{}, after{};
+    ASSERT_NO_THROW(before = compute_recovery_line(state, ClusterId{f}));
+    ASSERT_NO_THROW(after = compute_recovery_line(pruned, ClusterId{f}));
+    // Pruning must not change where anyone lands.
+    EXPECT_EQ(before.restored, after.restored);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDependencyGraphs, GcSafetyProperty,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace hc3i::proto

@@ -1,0 +1,226 @@
+// Unit tests for the discrete-event kernel: event queue, executive, timers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulation.hpp"
+#include "sim/timer.hpp"
+#include "util/check.hpp"
+
+namespace hc3i::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(seconds(3), [&] { order.push_back(3); });
+  q.schedule(seconds(1), [&] { order.push_back(1); });
+  q.schedule(seconds(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(seconds(1), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule(seconds(1), [&] { ++fired; });
+  q.schedule(seconds(2), [&] { ++fired; });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelTwiceIsHarmless) {
+  EventQueue q;
+  const EventId id = q.schedule(seconds(1), [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PeekSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(seconds(1), [] {});
+  q.schedule(seconds(5), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.peek_time(), seconds(5));
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), CheckFailure);
+  EXPECT_THROW(q.peek_time(), CheckFailure);
+}
+
+TEST(Simulation, ClockAdvancesToEventTimes) {
+  Simulation sim;
+  std::vector<SimTime> at;
+  sim.schedule_at(seconds(5), [&] { at.push_back(sim.now()); });
+  sim.schedule_at(seconds(2), [&] { at.push_back(sim.now()); });
+  sim.run_all();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_EQ(at[0], seconds(2));
+  EXPECT_EQ(at[1], seconds(5));
+}
+
+TEST(Simulation, SchedulingInPastThrows) {
+  Simulation sim;
+  sim.schedule_at(seconds(10), [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.now(), seconds(10));
+  EXPECT_THROW(sim.schedule_at(seconds(5), [] {}), CheckFailure);
+}
+
+TEST(Simulation, RunUntilHonoursHorizon) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(seconds(1), [&] { ++fired; });
+  sim.schedule_at(seconds(10), [&] { ++fired; });
+  const std::uint64_t ran = sim.run_until(seconds(5));
+  EXPECT_EQ(ran, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), seconds(5));  // clock advanced to the horizon
+  sim.run_until(seconds(20));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, EventsExactlyAtHorizonRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(seconds(5), [&] { ++fired; });
+  sim.run_until(seconds(5));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(seconds(1), [&] {
+    order.push_back(1);
+    sim.schedule_after(seconds(1), [&] { order.push_back(2); });
+  });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), seconds(2));
+}
+
+TEST(Simulation, StepRunsExactlyOne) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(seconds(1), [&] { ++fired; });
+  sim.schedule_at(seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, RequestStopBreaksLoop) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(seconds(1), [&] {
+    ++fired;
+    sim.request_stop();
+  });
+  sim.schedule_at(seconds(2), [&] { ++fired; });
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulation, RngStreamsReproducible) {
+  Simulation a(99), b(99);
+  auto ra = a.rng_stream(5);
+  auto rb = b.rng_stream(5);
+  EXPECT_EQ(ra.next_u64(), rb.next_u64());
+}
+
+TEST(Simulation, InfiniteDelayNeverFires) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_after(SimTime::infinity(), [&] { ++fired; });
+  sim.run_until(hours(1000));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, OneShotFiresOnce) {
+  Simulation sim;
+  int fired = 0;
+  Timer t(sim, seconds(5), /*periodic=*/false, [&] { ++fired; });
+  t.arm();
+  sim.run_until(seconds(30));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(t.fire_count(), 1u);
+}
+
+TEST(Timer, PeriodicKeepsFiring) {
+  Simulation sim;
+  int fired = 0;
+  Timer t(sim, seconds(10), /*periodic=*/true, [&] { ++fired; });
+  t.arm();
+  sim.run_until(seconds(35));
+  EXPECT_EQ(fired, 3);  // at 10, 20, 30
+}
+
+TEST(Timer, ResetDelaysExpiry) {
+  // Matches the paper's behaviour: "the timer is reset when a forced CLC
+  // is established", so back-to-back resets postpone the unforced CLC.
+  Simulation sim;
+  int fired = 0;
+  Timer t(sim, seconds(10), /*periodic=*/true, [&] { ++fired; });
+  t.arm();
+  sim.schedule_at(seconds(9), [&] { t.reset(); });
+  sim.run_until(seconds(18));
+  EXPECT_EQ(fired, 0);  // original expiry at 10 was pushed to 19
+  sim.run_until(seconds(19));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Timer, CancelStopsIt) {
+  Simulation sim;
+  int fired = 0;
+  Timer t(sim, seconds(10), /*periodic=*/true, [&] { ++fired; });
+  t.arm();
+  sim.schedule_at(seconds(15), [&] { t.cancel(); });
+  sim.run_until(seconds(100));
+  EXPECT_EQ(fired, 1);  // only the expiry at 10
+}
+
+TEST(Timer, InfinitePeriodNeverFires) {
+  // Paper §5.2 runs cluster 1 with "delay between CLCs set to infinite".
+  Simulation sim;
+  int fired = 0;
+  Timer t(sim, SimTime::infinity(), /*periodic=*/true, [&] { ++fired; });
+  t.arm();
+  EXPECT_FALSE(t.armed());
+  sim.run_until(hours(100));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, CallbackMayResetItself) {
+  Simulation sim;
+  int fired = 0;
+  Timer t(sim, seconds(10), /*periodic=*/true, [&] {
+    ++fired;
+    t.reset();
+  });
+  t.arm();
+  sim.run_until(seconds(45));
+  EXPECT_EQ(fired, 4);
+}
+
+}  // namespace
+}  // namespace hc3i::sim

@@ -1,0 +1,177 @@
+// Unit tests for src/stats: accumulators, registry, table rendering.
+
+#include <gtest/gtest.h>
+
+#include "stats/accumulators.hpp"
+#include "stats/registry.hpp"
+#include "stats/table.hpp"
+#include "util/check.hpp"
+
+namespace hc3i::stats {
+namespace {
+
+TEST(Summary, EmptyIsNeutral) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, MeanAndVariance) {
+  Summary s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428, 1e-5);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  Summary all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  Summary b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);   // underflow
+  h.add(0.0);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(10.0);   // overflow (hi is exclusive)
+  h.add(5.5);    // bin 5
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(5.0, 5.0, 10), CheckFailure);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), CheckFailure);
+}
+
+TEST(Registry, CountersStartAtZero) {
+  Registry r;
+  EXPECT_EQ(r.get("nope"), 0u);
+  r.inc("a");
+  r.inc("a", 4);
+  EXPECT_EQ(r.get("a"), 5u);
+}
+
+TEST(Registry, SetAndRaise) {
+  Registry r;
+  r.set("gauge", 10);
+  r.raise("gauge", 5);
+  EXPECT_EQ(r.get("gauge"), 10u);
+  r.raise("gauge", 15);
+  EXPECT_EQ(r.get("gauge"), 15u);
+}
+
+TEST(Registry, Summaries) {
+  Registry r;
+  r.observe("lat", 1.0);
+  r.observe("lat", 3.0);
+  EXPECT_EQ(r.summary("lat").count(), 2u);
+  EXPECT_DOUBLE_EQ(r.summary("lat").mean(), 2.0);
+  EXPECT_EQ(r.summary("absent").count(), 0u);
+}
+
+TEST(Registry, NamesSortedAndDump) {
+  Registry r;
+  r.inc("zulu");
+  r.inc("alpha");
+  const auto names = r.counter_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_NE(r.dump().find("zulu = 1"), std::string::npos);
+}
+
+TEST(Table, AsciiAlignsColumns) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(std::int64_t{42});
+  t.row().cell("b").cell(3.14159, 2);
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.at(0, 1), "42");
+}
+
+TEST(Table, Markdown) {
+  Table t({"a", "b"});
+  t.row().cell("x").cell("y");
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+  EXPECT_NE(md.find("| x | y |"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a"});
+  t.row().cell("has,comma");
+  EXPECT_NE(t.to_csv().find("\"has,comma\""), std::string::npos);
+  Table q({"a"});
+  q.row().cell("has\"quote");
+  EXPECT_NE(q.to_csv().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, GuardsAgainstMisuse) {
+  Table t({"only"});
+  EXPECT_THROW(t.cell("before row"), CheckFailure);
+  t.row().cell("ok");
+  EXPECT_THROW(t.cell("too many"), CheckFailure);
+  EXPECT_THROW(Table({}), CheckFailure);
+}
+
+TEST(Series, RenderAlignedColumns) {
+  Series a{"forced", {}, {}};
+  Series b{"unforced", {}, {}};
+  for (int x : {10, 20, 30}) {
+    a.add(x, x * 1.0);
+    b.add(x, x * 2.0);
+  }
+  const std::string out = render_series("timer", {a, b}, 1);
+  EXPECT_NE(out.find("timer"), std::string::npos);
+  EXPECT_NE(out.find("forced"), std::string::npos);
+  EXPECT_NE(out.find("60.0"), std::string::npos);
+}
+
+TEST(Series, RejectsRaggedInput) {
+  Series a{"a", {1.0}, {1.0}};
+  Series b{"b", {1.0, 2.0}, {1.0, 2.0}};
+  EXPECT_THROW(render_series("x", {a, b}), CheckFailure);
+  EXPECT_THROW(render_series("x", {}), CheckFailure);
+}
+
+}  // namespace
+}  // namespace hc3i::stats

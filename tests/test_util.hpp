@@ -1,0 +1,132 @@
+#pragma once
+
+// Shared test scaffolding.
+//
+// ScriptedApp is a minimal AppHandle whose sends are driven explicitly by
+// the test ("node 3 sends to node 17 now"), giving scenario tests precise
+// control over the message pattern — the unit-level complement to the
+// random Workload used by the property suites.
+//
+// MiniWorld assembles a full stack (simulation, federation, agents, one
+// ScriptedApp per node) for a given spec and protocol factory.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "baselines/independent.hpp"
+#include "config/presets.hpp"
+#include "fed/federation.hpp"
+#include "hc3i/agent.hpp"
+#include "hc3i/runtime.hpp"
+#include "proto/snapshot.hpp"
+#include "sim/simulation.hpp"
+#include "stats/registry.hpp"
+
+namespace hc3i::testing {
+
+/// Test-controlled application process.
+class ScriptedApp final : public proto::AppHandle {
+ public:
+  proto::AppSnapshot snapshot() const override {
+    proto::AppSnapshot snap;
+    snap.progress = progress;
+    snap.virtual_work = virtual_work;
+    snap.state_bytes = 1024;
+    snap.opaque = {delivered_count};
+    return snap;
+  }
+  void freeze() override { frozen = true; }
+  void restore(const proto::AppSnapshot& snap) override {
+    frozen = false;
+    progress = snap.progress;
+    virtual_work = snap.virtual_work;
+    delivered_count = snap.opaque.empty() ? 0 : snap.opaque[0];
+    ++restore_count;
+  }
+  void deliver(const net::Envelope& env) override {
+    ++delivered_count;
+    delivered.push_back(env);
+  }
+
+  /// Advance the fake progress marker (simulates computation).
+  void work() {
+    ++progress;
+    virtual_work += seconds(1);
+  }
+
+  std::uint64_t progress{0};
+  SimTime virtual_work{};
+  std::uint64_t delivered_count{0};
+  std::vector<net::Envelope> delivered;  ///< every delivery ever (not state)
+  bool frozen{false};
+  int restore_count{0};
+};
+
+/// A fully wired mini federation with scripted apps.
+class MiniWorld {
+ public:
+  /// `independent` swaps in the independent-checkpointing baseline agent
+  /// (same runtime/stores, forcing rule disabled).
+  MiniWorld(config::RunSpec spec, std::uint64_t seed,
+            core::Hc3iOptions options = {}, bool independent = false)
+      : sim(seed), spec_(std::move(spec)), fed(sim, spec_, registry) {
+    if (independent) options.enable_gc = false;
+    runtime = std::make_unique<core::Hc3iRuntime>(spec_, options);
+    apps.reserve(fed.topology().node_count());
+    for (std::uint32_t i = 0; i < fed.topology().node_count(); ++i) {
+      apps.push_back(std::make_unique<ScriptedApp>());
+    }
+    std::vector<proto::AppHandle*> handles;
+    for (auto& a : apps) handles.push_back(a.get());
+    fed.build_agents(independent ? baselines::independent_factory(*runtime)
+                                 : runtime->factory(),
+                     handles);
+    fed.start();
+  }
+
+  /// Let all pending protocol activity settle (bounded horizon).
+  void settle(SimTime dt = seconds(30)) { sim.run_until(sim.now() + dt); }
+
+  /// Issue one application send from `src` to `dst`; returns the app_seq.
+  std::uint64_t send(NodeId src, NodeId dst, std::uint64_t bytes = 1024) {
+    const std::uint64_t seq = next_seq_++;
+    fed.agent(src).app_send(dst, bytes, seq);
+    return seq;
+  }
+
+  core::Hc3iAgent& agent(NodeId n) {
+    return *static_cast<core::Hc3iAgent*>(&fed.agent(n));
+  }
+
+  /// True when a delivery of `app_seq` reached `dst` (ever).
+  bool delivered(NodeId dst, std::uint64_t app_seq) const {
+    for (const auto& env : apps[dst.v]->delivered) {
+      if (env.app_seq == app_seq) return true;
+    }
+    return false;
+  }
+
+  sim::Simulation sim;
+  stats::Registry registry;
+  config::RunSpec spec_;
+  fed::Federation fed;
+  std::unique_ptr<core::Hc3iRuntime> runtime;
+  std::vector<std::unique_ptr<ScriptedApp>> apps;
+
+ private:
+  std::uint64_t next_seq_{1};
+};
+
+/// A spec with near-zero latencies disabled GC and no failures, sized
+/// `clusters` x `nodes` — the default scenario-test substrate.
+inline config::RunSpec tiny_spec(std::size_t clusters = 2,
+                                 std::uint32_t nodes = 3) {
+  config::RunSpec spec = config::small_test_spec(clusters, nodes);
+  spec.application.state_bytes = 64 * 1024;
+  // Effectively-never unforced CLCs: scenario tests drive everything.
+  for (auto& c : spec.timers.clusters) c.clc_period = SimTime::infinity();
+  return spec;
+}
+
+}  // namespace hc3i::testing

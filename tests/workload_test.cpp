@@ -1,0 +1,194 @@
+// Tests for the synthetic code-coupling workload (src/app): traffic shape,
+// snapshot/restore semantics, deterministic vs divergent replay.
+
+#include <gtest/gtest.h>
+
+#include "app/workload.hpp"
+#include "driver/run.hpp"
+#include "test_util.hpp"
+
+namespace hc3i::testing {
+namespace {
+
+TEST(Workload, TrafficFollowsWeights) {
+  // Cluster 0 sends 90% intra / 10% inter in the small spec; over a long
+  // run the census should reflect that.
+  driver::RunOptions opts;
+  opts.spec = config::small_test_spec(2, 4);
+  opts.spec.application.total_time = hours(4);
+  opts.seed = 11;
+  const auto result = driver::run_simulation(opts);
+  const double intra = static_cast<double>(
+      result.app_messages(ClusterId{0}, ClusterId{0}));
+  const double inter = static_cast<double>(
+      result.app_messages(ClusterId{0}, ClusterId{1}));
+  ASSERT_GT(intra + inter, 500);
+  EXPECT_NEAR(inter / (intra + inter), 0.1, 0.03);
+}
+
+TEST(Workload, SendRateMatchesMeanCompute) {
+  // 4 nodes x (4h / 20s) expected steps per node in cluster 0.
+  driver::RunOptions opts;
+  opts.spec = config::small_test_spec(1, 4);
+  opts.spec.application.total_time = hours(4);
+  opts.seed = 3;
+  const auto result = driver::run_simulation(opts);
+  const double expected = 4.0 * opts.spec.application.total_time.seconds() /
+                          opts.spec.application.clusters[0].mean_compute.seconds();
+  EXPECT_NEAR(static_cast<double>(result.counter("app.sends")), expected,
+              expected * 0.12);
+}
+
+TEST(Workload, SeedsChangeTheTrace) {
+  driver::RunOptions a;
+  a.spec = config::small_test_spec(2, 3);
+  a.spec.application.total_time = minutes(60);
+  a.seed = 1;
+  driver::RunOptions b = a;
+  b.seed = 2;
+  const auto ra = driver::run_simulation(a);
+  const auto rb = driver::run_simulation(b);
+  EXPECT_NE(ra.counter("app.sends"), rb.counter("app.sends"));
+}
+
+TEST(Workload, SameSeedReproducesExactly) {
+  driver::RunOptions opts;
+  opts.spec = config::small_test_spec(2, 3);
+  opts.spec.application.total_time = minutes(60);
+  opts.seed = 5;
+  const auto ra = driver::run_simulation(opts);
+  const auto rb = driver::run_simulation(opts);
+  EXPECT_EQ(ra.counter("app.sends"), rb.counter("app.sends"));
+  EXPECT_EQ(ra.events_executed, rb.events_executed);
+  EXPECT_EQ(ra.total_progress, rb.total_progress);
+}
+
+TEST(Workload, SnapshotRestoreRewindsProgress) {
+  sim::Simulation sim(1);
+  stats::Registry reg;
+  net::Topology topo(config::small_test_spec(1, 2).topology);
+  config::ApplicationSpec app = config::small_test_spec(1, 2).application;
+  app::Workload workload(sim, topo, app, reg);
+
+  // A null agent that swallows sends.
+  struct NullAgent final : proto::ProtocolAgent {
+    using ProtocolAgent::ProtocolAgent;
+    void start() override {}
+    void app_send(NodeId, std::uint64_t, std::uint64_t) override { ++sends; }
+    void on_message(const net::Envelope&) override {}
+    void on_failure_detected(NodeId) override {}
+    int sends{0};
+  };
+  proto::AgentContext ctx;  // enough context for a null agent
+  NullAgent agent(ctx);
+  workload.bind_agents([&agent](NodeId) { return &agent; });
+  workload.start();
+  sim.run_until(minutes(5));
+  auto& node = workload.node(NodeId{0});
+  const auto snap = node.snapshot();
+  EXPECT_GT(snap.progress, 0u);
+  sim.run_until(minutes(10));
+  EXPECT_GT(node.progress(), snap.progress);
+  node.restore(snap);
+  EXPECT_EQ(node.progress(), snap.progress);
+  // Execution resumes after restore.
+  sim.run_until(minutes(15));
+  EXPECT_GT(node.progress(), snap.progress);
+}
+
+TEST(Workload, FreezeStopsActivity) {
+  sim::Simulation sim(1);
+  stats::Registry reg;
+  const auto spec = config::small_test_spec(1, 2);
+  net::Topology topo(spec.topology);
+  app::Workload workload(sim, topo, spec.application, reg);
+  struct NullAgent final : proto::ProtocolAgent {
+    using ProtocolAgent::ProtocolAgent;
+    void start() override {}
+    void app_send(NodeId, std::uint64_t, std::uint64_t) override {}
+    void on_message(const net::Envelope&) override {}
+    void on_failure_detected(NodeId) override {}
+  };
+  proto::AgentContext ctx;
+  NullAgent agent(ctx);
+  workload.bind_agents([&agent](NodeId) { return &agent; });
+  workload.start();
+  sim.run_until(minutes(5));
+  auto& node = workload.node(NodeId{0});
+  node.freeze();
+  const std::uint64_t frozen_at = node.progress();
+  sim.run_until(minutes(30));
+  EXPECT_EQ(node.progress(), frozen_at);
+}
+
+TEST(Workload, DeterministicReplayRepeatsDecisions) {
+  // Under PWD (ReplayMode::kDeterministic), restoring and re-running must
+  // reproduce the same sends (same app_seqs, same destinations) — the
+  // property the pessimistic-logging baseline depends on.
+  for (const auto mode :
+       {app::ReplayMode::kDeterministic, app::ReplayMode::kDivergent}) {
+    sim::Simulation sim(1);
+    stats::Registry reg;
+    auto spec = config::small_test_spec(2, 2);
+    spec.application.total_time = hours(3);  // covers run + replay windows
+    net::Topology topo(spec.topology);
+    app::Workload workload(sim, topo, spec.application, reg, mode);
+    struct Recorder final : proto::ProtocolAgent {
+      using ProtocolAgent::ProtocolAgent;
+      void start() override {}
+      void app_send(NodeId dst, std::uint64_t, std::uint64_t seq) override {
+        sends.emplace_back(dst, seq);
+      }
+      void on_message(const net::Envelope&) override {}
+      void on_failure_detected(NodeId) override {}
+      std::vector<std::pair<NodeId, std::uint64_t>> sends;
+    };
+    proto::AgentContext ctx;
+    Recorder agent(ctx);
+    workload.bind_agents([&agent](NodeId) { return &agent; });
+    auto& node = workload.node(NodeId{0});
+    const auto snap = node.snapshot();
+    workload.start();
+    sim.run_until(hours(1));
+    const auto first = agent.sends;
+    agent.sends.clear();
+    // Rewind node 0 to the start and replay the same wall-clock window.
+    node.restore(snap);
+    sim.run_until(sim.now() + hours(1));
+    std::vector<std::pair<NodeId, std::uint64_t>> replayed;
+    for (const auto& s : agent.sends) replayed.push_back(s);
+    // Compare the node-0 subsequence of both traces.
+    auto only_node0 = [](const std::vector<std::pair<NodeId, std::uint64_t>>& v) {
+      std::vector<std::pair<NodeId, std::uint64_t>> out;
+      for (const auto& [dst, seq] : v) {
+        if ((seq >> 32) == 0) out.emplace_back(dst, seq);
+      }
+      return out;
+    };
+    const auto a = only_node0(first);
+    const auto b = only_node0(replayed);
+    ASSERT_GT(a.size(), 10u);
+    ASSERT_GT(b.size(), 10u);
+    const std::size_t n = std::min(a.size(), b.size());
+    bool identical = true;
+    for (std::size_t i = 0; i < n; ++i) identical = identical && a[i] == b[i];
+    if (mode == app::ReplayMode::kDeterministic) {
+      EXPECT_TRUE(identical) << "PWD replay diverged";
+    } else {
+      EXPECT_FALSE(identical) << "divergent replay repeated itself";
+    }
+  }
+}
+
+TEST(Workload, StopsAtHorizon) {
+  driver::RunOptions opts;
+  opts.spec = config::small_test_spec(1, 2);
+  opts.spec.application.total_time = minutes(30);
+  const auto result = driver::run_simulation(opts);
+  // No sends may be initiated after the horizon; the drain only flushes.
+  EXPECT_GT(result.counter("app.sends"), 0u);
+  EXPECT_LE(result.end_time, minutes(30) + opts.drain);
+}
+
+}  // namespace
+}  // namespace hc3i::testing
