@@ -63,7 +63,7 @@ void WorkloadNode::on_step_done(std::uint64_t epoch) {
       const std::uint64_t app_seq =
           (static_cast<std::uint64_t>(self_.v) << 32) | progress_;
       agent_->app_send(dst, cspec.message_bytes, app_seq);
-      owner_.registry_.inc("app.sends");
+      owner_.stat(owner_.stat_sends_, "app.sends").inc();
     }
   }
   ++progress_;
@@ -93,14 +93,14 @@ void WorkloadNode::restore(const proto::AppSnapshot& snap) {
   virtual_work_ = snap.virtual_work;
   received_ = snap.opaque.empty() ? 0 : snap.opaque[0];
   if (owner_.mode_ == ReplayMode::kDivergent) ++salt_;
-  owner_.registry_.inc("app.restores");
+  owner_.stat(owner_.stat_restores_, "app.restores").inc();
   schedule_step();
 }
 
 void WorkloadNode::deliver(const net::Envelope& env) {
   (void)env;
   ++received_;
-  owner_.registry_.inc("app.delivered");
+  owner_.stat(owner_.stat_delivered_, "app.delivered").inc();
 }
 
 // ---------------------------------------------------------------------------

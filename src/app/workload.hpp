@@ -108,6 +108,12 @@ class Workload {
  private:
   friend class WorkloadNode;
 
+  /// Lazily resolve a counter handle shared by every node (sends/deliveries
+  /// are per-message paths; the name lookup must not be).
+  stats::Counter& stat(stats::Counter*& slot, const char* name) {
+    return stats::lazy_counter(registry_, slot, [name] { return name; });
+  }
+
   sim::Simulation& sim_;
   const net::Topology& topo_;
   config::ApplicationSpec app_;
@@ -115,6 +121,9 @@ class Workload {
   ReplayMode mode_;
   SimTime horizon_;
   std::vector<std::unique_ptr<WorkloadNode>> nodes_;
+  stats::Counter* stat_sends_{nullptr};
+  stats::Counter* stat_restores_{nullptr};
+  stats::Counter* stat_delivered_{nullptr};
 };
 
 }  // namespace hc3i::app

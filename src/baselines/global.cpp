@@ -9,10 +9,7 @@ namespace hc3i::baselines {
 namespace {
 constexpr std::uint64_t kCtl = 64;
 
-template <typename T>
-const T* payload_as(const net::Envelope& env) {
-  return dynamic_cast<const T*>(env.control.get());
-}
+using net::payload_as;
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -206,8 +203,16 @@ void GlobalAgent::commit_round() {
       rec.parts.push_back(std::move(*parts_[base + i]));
     }
     rt_.store(cid).commit(std::move(rec));
-    ctx_.registry->inc("clc.total.c" + std::to_string(c));
-    ctx_.registry->inc("clc.unforced.c" + std::to_string(c));
+    if (stat_clc_by_cluster_.size() <= c) {
+      stat_clc_by_cluster_.resize(rt_.cluster_count(), {nullptr, nullptr});
+    }
+    auto& [clc_total, clc_unforced] = stat_clc_by_cluster_[c];
+    stats::lazy_counter(*ctx_.registry, clc_total, [c] {
+      return "clc.total.c" + std::to_string(c);
+    }).inc();
+    stats::lazy_counter(*ctx_.registry, clc_unforced, [c] {
+      return "clc.unforced.c" + std::to_string(c);
+    }).inc();
   }
   // Global channel state: every application message still in flight, plus
   // every node's deferred arrivals.
@@ -220,7 +225,8 @@ void GlobalAgent::commit_round() {
   }
   rt_.set_channel(new_sn, std::move(channel));
 
-  ctx_.registry->observe("global.freeze_s", (now() - round_started_).seconds());
+  named_summary(stat_freeze_, "global.freeze_s")
+      .add((now() - round_started_).seconds());
   round_active_ = false;
   auto commit = std::make_shared<GCommit>();
   commit->round = round_;
@@ -283,7 +289,7 @@ void GlobalAgent::on_message(const net::Envelope& env) {
     // Stale pre-rollback traffic: whole-federation rollbacks undo every
     // send newer than the restored checkpoint.
     if (env.piggy.incarnation < inc_ && env.piggy.sn >= sn_) {
-      ctx_.registry->inc("cic.stale_dropped");
+      named_stat(stat_stale_dropped_, "cic.stale_dropped").inc();
       return;
     }
     if (rollback_pending_) {
@@ -306,7 +312,7 @@ void GlobalAgent::on_message(const net::Envelope& env) {
 }
 
 void GlobalAgent::on_failure_detected(NodeId failed) {
-  ctx_.registry->inc("rollback.faults");
+  named_stat(stat_rollback_faults_, "rollback.faults").inc();
   (void)failed;
   global_rollback(/*fault_origin=*/true, cluster());
 }
@@ -327,9 +333,9 @@ void GlobalAgent::global_rollback(bool fault_origin, ClusterId fault_cluster) {
     const proto::ClcRecord& rec = rt_.store(cid).last();
     HC3I_CHECK(rec.sn == target_sn, "global stores out of sync");
     ctx_.ledger->undo_after(cid, rec.ledger_mark);
-    ctx_.registry->inc("rollback.count");
-    ctx_.registry->observe("rollback.depth_clcs",
-                           static_cast<double>(sn_ - rec.sn));
+    named_stat(stat_rollback_count_, "rollback.count").inc();
+    named_summary(stat_rollback_depth_, "rollback.depth_clcs")
+        .add(static_cast<double>(sn_ - rec.sn));
     const std::uint32_t base = ctx_.topology->first_node(cid).v;
     for (std::uint32_t i = 0; i < ctx_.topology->cluster_size(cid); ++i) {
       rt_.agents()[base + i]->apply_rollback(rec, new_inc);
@@ -368,7 +374,8 @@ void GlobalAgent::apply_rollback(const proto::ClcRecord& rec,
   const SimTime lost =
       current.virtual_work - rec.parts[local_index(self())].app.virtual_work;
   if (lost.ns > 0) {
-    ctx_.registry->observe("rollback.lost_work_s", lost.seconds());
+    named_summary(stat_lost_work_, "rollback.lost_work_s")
+        .add(lost.seconds());
   }
   sn_ = rec.sn;
   inc_ = new_inc;

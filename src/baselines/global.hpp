@@ -80,11 +80,25 @@ class GlobalAgent final : public proto::AgentBase {
   bool in_round() const { return in_round_; }
 
  private:
+  // Pre-resolved stats handles (per-message / per-round paths; see
+  // AgentBase::named_stat).  The per-cluster pair is (clc.total, clc.unforced).
+  stats::Counter* stat_stale_dropped_{nullptr};
+  stats::Counter* stat_rollback_faults_{nullptr};
+  stats::Counter* stat_rollback_count_{nullptr};
+  stats::Summary* stat_freeze_{nullptr};
+  stats::Summary* stat_rollback_depth_{nullptr};
+  stats::Summary* stat_lost_work_{nullptr};
+  std::vector<std::pair<stats::Counter*, stats::Counter*>> stat_clc_by_cluster_;
+
   struct GReq final : net::ControlPayload {
+    static constexpr std::uint32_t kKind = 20;
+    GReq() : ControlPayload(kKind) {}
     std::uint64_t round{0};
     Incarnation inc{0};
   };
   struct GAck final : net::ControlPayload {
+    static constexpr std::uint32_t kKind = 21;
+    GAck() : ControlPayload(kKind) {}
     std::uint64_t round{0};
     Incarnation inc{0};
     NodeId node{};
@@ -92,12 +106,16 @@ class GlobalAgent final : public proto::AgentBase {
   };
   /// Hierarchical mode: one aggregate ack per cluster.
   struct GClusterAck final : net::ControlPayload {
+    static constexpr std::uint32_t kKind = 22;
+    GClusterAck() : ControlPayload(kKind) {}
     std::uint64_t round{0};
     Incarnation inc{0};
     ClusterId cluster{};
     std::vector<proto::NodePart> parts;  ///< node order within the cluster
   };
   struct GCommit final : net::ControlPayload {
+    static constexpr std::uint32_t kKind = 23;
+    GCommit() : ControlPayload(kKind) {}
     std::uint64_t round{0};
     Incarnation inc{0};
     SeqNum sn{0};

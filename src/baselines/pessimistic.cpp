@@ -43,8 +43,10 @@ void PessimisticAgent::take_checkpoint() {
   checkpoint_ = ctx_.app->snapshot();
   checkpoint_mark_ = ctx_.ledger->mark();
   receive_log_.clear();
-  ctx_.registry->inc("clc.total.c" + std::to_string(cluster().v));
-  ctx_.registry->inc("pess.node_checkpoints");
+  stats::lazy_counter(*ctx_.registry, stat_clc_total_, [this] {
+    return "clc.total.c" + std::to_string(cluster().v);
+  }).inc();
+  named_stat(stat_node_ckpts_, "pess.node_checkpoints").inc();
   // Model the stable write of the state to the ring neighbour.
   if (ctx_.topology->cluster_size(cluster()) > 1) {
     send_control(ctx_.topology->ring_neighbour(self()),
@@ -71,7 +73,7 @@ void PessimisticAgent::on_message(const net::Envelope& env) {
   }
   if (dedup_.count(env.app_seq) > 0) {
     // Duplicate from a re-executed sender (PWD re-sends); drop.
-    ctx_.registry->inc("pess.dup_dropped");
+    named_stat(stat_dup_dropped_, "pess.dup_dropped").inc();
     return;
   }
   dedup_.insert(env.app_seq);
@@ -83,7 +85,7 @@ void PessimisticAgent::on_message(const net::Envelope& env) {
   if (ctx_.topology->cluster_size(cluster()) > 1) {
     send_control(ctx_.topology->ring_neighbour(self()), env.payload_bytes,
                  std::make_shared<LogCopy>());
-    ctx_.registry->inc("pess.log_copies");
+    named_stat(stat_log_copies_, "pess.log_copies").inc();
   }
 }
 
@@ -128,7 +130,7 @@ void PessimisticAgent::restore_failed_node() {
       dedup_.insert(env.app_seq);
       receive_log_.push_back(env);
       deliver_app(env);
-      ctx_.registry->inc("pess.replayed");
+      named_stat(stat_replayed_, "pess.replayed").inc();
     }
     auto stash = std::move(post_rollback_stash_);
     post_rollback_stash_.clear();

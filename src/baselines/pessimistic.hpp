@@ -24,7 +24,7 @@
 
 #include <memory>
 #include <optional>
-#include <set>
+#include <unordered_set>
 #include <vector>
 
 #include "config/spec.hpp"
@@ -67,6 +67,8 @@ class PessimisticAgent final : public proto::AgentBase {
  private:
   /// Copy of a delivered message persisted at the channel memory.
   struct LogCopy final : net::ControlPayload {
+    static constexpr std::uint32_t kKind = 30;
+    LogCopy() : ControlPayload(kKind) {}
     // Only the modelled bytes matter; the original stays at the receiver.
   };
 
@@ -74,10 +76,16 @@ class PessimisticAgent final : public proto::AgentBase {
   void restore_failed_node();
 
   PessimisticRuntime& rt_;
+  // Pre-resolved stats handles (per-message paths; see AgentBase::named_stat).
+  stats::Counter* stat_clc_total_{nullptr};
+  stats::Counter* stat_node_ckpts_{nullptr};
+  stats::Counter* stat_dup_dropped_{nullptr};
+  stats::Counter* stat_log_copies_{nullptr};
+  stats::Counter* stat_replayed_{nullptr};
   proto::AppSnapshot checkpoint_;
   std::uint64_t checkpoint_mark_{0};
   std::vector<net::Envelope> receive_log_;  ///< deliveries since checkpoint
-  std::set<std::uint64_t> dedup_;           ///< all-time delivered app_seqs
+  std::unordered_set<std::uint64_t> dedup_; ///< all-time delivered app_seqs
   bool rollback_pending_{false};
   std::vector<net::Envelope> post_rollback_stash_;
   std::unique_ptr<sim::Timer> timer_;

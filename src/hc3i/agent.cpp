@@ -8,10 +8,7 @@
 namespace hc3i::core {
 
 namespace {
-template <typename T>
-const T* payload_as(const net::Envelope& env) {
-  return dynamic_cast<const T*>(env.control.get());
-}
+using net::payload_as;
 }  // namespace
 
 Hc3iAgent::Hc3iAgent(const proto::AgentContext& ctx, Hc3iRuntime& rt)
@@ -23,6 +20,11 @@ Hc3iAgent::Hc3iAgent(const proto::AgentContext& ctx, Hc3iRuntime& rt)
 
 std::string Hc3iAgent::cstat(const char* name) const {
   return std::string(name) + ".c" + std::to_string(cluster().v);
+}
+
+stats::Counter& Hc3iAgent::stat(stats::Counter*& slot, const char* name) {
+  return stats::lazy_counter(*ctx_.registry, slot,
+                             [this, name] { return cstat(name); });
 }
 
 std::uint32_t Hc3iAgent::local_index(NodeId n) const {
@@ -37,6 +39,9 @@ proto::NodePart Hc3iAgent::make_part() const {
   proto::NodePart part;
   part.app = ctx_.app->snapshot();
   part.dedup.assign(dedup_.begin(), dedup_.end());
+  // The hashed set iterates in an unspecified order; checkpoint parts are
+  // protocol state, so canonicalise for bit-reproducibility.
+  std::sort(part.dedup.begin(), part.dedup.end());
   part.log = log_.entries();
   return part;
 }
@@ -53,10 +58,10 @@ SimTime Hc3iAgent::state_restore_delay() const {
 }
 
 void Hc3iAgent::note_log_highwater() {
-  ctx_.registry->raise(cstat("log.max_entries"),
-                       rt_.cluster_log_entries(cluster()));
-  ctx_.registry->raise(cstat("log.max_unacked"),
-                       rt_.cluster_unacked_log_entries(cluster()));
+  stat(stat_log_max_entries_, "log.max_entries")
+      .raise(rt_.cluster_log_entries(cluster()));
+  stat(stat_log_max_unacked_, "log.max_unacked")
+      .raise(rt_.cluster_unacked_log_entries(cluster()));
 }
 
 // ---------------------------------------------------------------------------
@@ -124,7 +129,7 @@ void Hc3iAgent::app_send(NodeId dst, std::uint64_t bytes,
     // "Between the request and the commit messages, application messages
     // are queued" (paper §3.1).
     queued_sends_.push_back(QueuedSend{dst, bytes, app_seq});
-    ctx_.registry->inc(cstat("clc.queued_sends"));
+    stat(stat_queued_sends_, "clc.queued_sends").inc();
     return;
   }
   do_send(dst, bytes, app_seq);
@@ -233,7 +238,7 @@ void Hc3iAgent::receive_inter_app(const net::Envelope& env) {
     // Fresh sender SN: a CLC has been stored in the sender's cluster since
     // the last communication — force a CLC before delivery (paper §3.2).
     wait_force_.push_back(env);
-    ctx_.registry->inc(cstat("cic.forced_triggers"));
+    stat(stat_forced_triggers_, "cic.forced_triggers").inc();
     send_demand(env.src_cluster, env.piggy.sn, env.piggy.ddv);
     return;
   }
@@ -437,21 +442,20 @@ void Hc3iAgent::coordinator_commit_round() {
   }
   store().commit(std::move(rec));
 
-  auto& reg = *ctx_.registry;
-  reg.inc(cstat("clc.total"));
+  stat(stat_clc_total_, "clc.total").inc();
   switch (round_reason_) {
     case RoundReason::kInitial:
-      reg.inc(cstat("clc.initial"));
+      stat(stat_clc_initial_, "clc.initial").inc();
       break;
     case RoundReason::kTimer:
-      reg.inc(cstat("clc.unforced"));
+      stat(stat_clc_unforced_, "clc.unforced").inc();
       break;
     case RoundReason::kForced:
-      reg.inc(cstat("clc.forced"));
+      stat(stat_clc_forced_, "clc.forced").inc();
       break;
   }
-  reg.raise(cstat("store.max_clcs"), store().size());
-  reg.raise(cstat("store.max_bytes"), store().storage_bytes());
+  stat(stat_store_max_clcs_, "store.max_clcs").raise(store().size());
+  stat(stat_store_max_bytes_, "store.max_bytes").raise(store().storage_bytes());
   HC3I_TRACE(kProtocol, now(), "C" << cluster().v << " commit CLC sn=" << new_sn
                                    << " ddv=" << new_ddv.to_string());
 
@@ -508,7 +512,7 @@ void Hc3iAgent::on_failure_detected(NodeId failed) {
   // stored CLC."
   HC3I_CHECK(ctx_.topology->cluster_of(failed) == cluster(),
              "failure notification routed to wrong cluster");
-  ctx_.registry->inc(cstat("rollback.faults"));
+  stat(stat_rollback_faults_, "rollback.faults").inc();
   proto::ClcRecord rec = store().last();  // copy: the store gets truncated
   // The failed node lost its volatile memory; it will restore the
   // checkpointed copy of its log (survivors keep and truncate theirs).
@@ -521,10 +525,10 @@ void Hc3iAgent::on_failure_detected(NodeId failed) {
 void Hc3iAgent::rollback_cluster(proto::ClcRecord rec, bool fault_origin) {
   const ClusterId c = cluster();
   const Incarnation new_inc = rt_.bump_incarnation(c);
-  auto& reg = *ctx_.registry;
-  reg.inc("rollback.count");
-  reg.inc(cstat("rollback.count"));
-  reg.observe("rollback.depth_clcs", static_cast<double>(sn_ - rec.sn));
+  named_stat(stat_rollback_global_, "rollback.count").inc();
+  stat(stat_rollback_count_, "rollback.count").inc();
+  named_summary(stat_rollback_depth_, "rollback.depth_clcs")
+      .add(static_cast<double>(sn_ - rec.sn));
   HC3I_TRACE(kProtocol, now(), "C" << c.v << " ROLLBACK to sn=" << rec.sn
                                    << " inc=" << new_inc
                                    << (fault_origin ? " (fault)" : " (alert)"));
@@ -646,7 +650,7 @@ void Hc3iAgent::handle_rollback_alert(const RollbackAlert& m) {
         find_rollback_target(m.faulty, m.restored_sn);
     HC3I_CHECK(target != nullptr,
                "no rollback target — the garbage collector over-pruned");
-    ctx_.registry->inc(cstat("rollback.cascade"));
+    stat(stat_rollback_cascade_, "rollback.cascade").inc();
     rollback_cluster(*target, /*fault_origin=*/false);
   }
 
@@ -746,7 +750,7 @@ void Hc3iAgent::handle_gc_collect(const GcCollect& m) {
   const std::size_t removed = store().prune_before(m.min_sns[cluster().v]);
   const std::size_t after = store().size();
   rt_.record_gc(now(), cluster(), before, after);
-  ctx_.registry->inc(cstat("gc.clcs_removed"), removed);
+  stat(stat_gc_removed_, "gc.clcs_removed").inc(removed);
   HC3I_TRACE(kProtocol, now(), "C" << cluster().v << " GC prune: " << before
                                    << " -> " << after);
   auto prune = std::make_shared<GcPrune>();

@@ -36,6 +36,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <unordered_set>
 #include <vector>
 
 #include "hc3i/control.hpp"
@@ -131,6 +132,10 @@ class Hc3iAgent : public proto::AgentBase {
 
   // -- helpers
   std::string cstat(const char* name) const;
+  /// Lazily resolve a per-cluster counter handle ("<name>.c<cluster>") into
+  /// `slot`: the name string is built once per agent, not once per bump, and
+  /// the counter still only exists once actually touched.
+  stats::Counter& stat(stats::Counter*& slot, const char* name);
   std::uint32_t local_index(NodeId n) const;
   proto::NodePart make_part() const;
   std::uint32_t replicas_needed() const;
@@ -149,7 +154,9 @@ class Hc3iAgent : public proto::AgentBase {
  private:
   // Node-local protocol state.
   proto::MsgLog log_;
-  std::set<std::uint64_t> dedup_;           ///< delivered inter app_seqs
+  std::unordered_set<std::uint64_t> dedup_; ///< delivered inter app_seqs
+                                            ///< (hashed: checked per arrival;
+                                            ///< sorted only at capture)
   std::vector<net::Envelope> wait_force_;   ///< stashed, awaiting forced CLC
   std::vector<net::Envelope> deferred_;     ///< arrived during a 2PC round
   struct QueuedSend {
@@ -186,6 +193,24 @@ class Hc3iAgent : public proto::AgentBase {
   std::vector<std::optional<proto::NodePart>> parts_;
   std::size_t acks_received_{0};
   std::unique_ptr<sim::Timer> clc_timer_;
+
+  // Pre-resolved stats handles (see stat()).
+  stats::Counter* stat_log_max_entries_{nullptr};
+  stats::Counter* stat_log_max_unacked_{nullptr};
+  stats::Counter* stat_queued_sends_{nullptr};
+  stats::Counter* stat_forced_triggers_{nullptr};
+  stats::Counter* stat_clc_total_{nullptr};
+  stats::Counter* stat_clc_initial_{nullptr};
+  stats::Counter* stat_clc_unforced_{nullptr};
+  stats::Counter* stat_clc_forced_{nullptr};
+  stats::Counter* stat_store_max_clcs_{nullptr};
+  stats::Counter* stat_store_max_bytes_{nullptr};
+  stats::Counter* stat_rollback_faults_{nullptr};
+  stats::Counter* stat_rollback_count_{nullptr};
+  stats::Counter* stat_rollback_global_{nullptr};
+  stats::Counter* stat_rollback_cascade_{nullptr};
+  stats::Counter* stat_gc_removed_{nullptr};
+  stats::Summary* stat_rollback_depth_{nullptr};
 
   // GC initiator state (coordinator of cluster 0 only).
   std::unique_ptr<sim::Timer> gc_timer_;

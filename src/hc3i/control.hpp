@@ -30,6 +30,8 @@ struct ControlSizes {
 
 /// Coordinator -> cluster: take a tentative local checkpoint (2PC phase 1).
 struct ClcRequest final : net::ControlPayload {
+    static constexpr std::uint32_t kKind = 1;
+    ClcRequest() : ControlPayload(kKind) {}
   std::uint64_t round{0};
   Incarnation inc{0};
 };
@@ -37,6 +39,8 @@ struct ClcRequest final : net::ControlPayload {
 /// Node -> its ring neighbour: store my checkpoint part replica
 /// (paper §3.1 stable storage; payload_bytes models the state transfer).
 struct ReplicaStore final : net::ControlPayload {
+    static constexpr std::uint32_t kKind = 2;
+    ReplicaStore() : ControlPayload(kKind) {}
   std::uint64_t round{0};
   Incarnation inc{0};
   NodeId origin{};
@@ -44,6 +48,8 @@ struct ReplicaStore final : net::ControlPayload {
 
 /// Neighbour -> node: replica persisted.
 struct ReplicaAck final : net::ControlPayload {
+    static constexpr std::uint32_t kKind = 3;
+    ReplicaAck() : ControlPayload(kKind) {}
   std::uint64_t round{0};
   Incarnation inc{0};
 };
@@ -54,6 +60,8 @@ struct ReplicaAck final : net::ControlPayload {
 /// the node's DDV view (identical cluster-wide under HC3I; per-node under
 /// the independent baseline, merged by max at commit).
 struct ClcAck final : net::ControlPayload {
+    static constexpr std::uint32_t kKind = 4;
+    ClcAck() : ControlPayload(kKind) {}
   std::uint64_t round{0};
   Incarnation inc{0};
   NodeId node{};
@@ -65,6 +73,8 @@ struct ClcAck final : net::ControlPayload {
 /// SN and the committed DDV so every node re-synchronises both (paper §3.2:
 /// "we use the synchronization induced by the CLC two-phase commit").
 struct ClcCommit final : net::ControlPayload {
+    static constexpr std::uint32_t kKind = 5;
+    ClcCommit() : ControlPayload(kKind) {}
   std::uint64_t round{0};
   Incarnation inc{0};
   SeqNum sn{0};
@@ -74,6 +84,8 @@ struct ClcCommit final : net::ControlPayload {
 /// Any node -> coordinator: an inter-cluster message with a fresh SN
 /// arrived; a forced CLC is required before it can be delivered (§3.2).
 struct ClcDemand final : net::ControlPayload {
+    static constexpr std::uint32_t kKind = 6;
+    ClcDemand() : ControlPayload(kKind) {}
   Incarnation inc{0};
   ClusterId from_cluster{};
   SeqNum observed_sn{0};
@@ -84,6 +96,8 @@ struct ClcDemand final : net::ControlPayload {
 /// Receiver -> sender of an inter-cluster application message: delivery
 /// acknowledgement for the sender log (§3.3).
 struct InterAck final : net::ControlPayload {
+    static constexpr std::uint32_t kKind = 7;
+    InterAck() : ControlPayload(kKind) {}
   MsgId msg{};
   SeqNum ack_sn{0};
   Incarnation ack_inc{0};
@@ -91,6 +105,8 @@ struct InterAck final : net::ControlPayload {
 
 /// Rolled-back cluster -> one node of every other cluster (§3.4).
 struct RollbackAlert final : net::ControlPayload {
+    static constexpr std::uint32_t kKind = 8;
+    RollbackAlert() : ControlPayload(kKind) {}
   ClusterId faulty{};
   SeqNum restored_sn{0};
   Incarnation new_inc{0};
@@ -98,17 +114,23 @@ struct RollbackAlert final : net::ControlPayload {
 
 /// Intra-cluster relay of a received alert (every node must scan its log).
 struct AlertRelay final : net::ControlPayload {
+    static constexpr std::uint32_t kKind = 9;
+    AlertRelay() : ControlPayload(kKind) {}
   Incarnation inc{0};  ///< receiving cluster's incarnation
   RollbackAlert alert;
 };
 
 /// GC initiator -> one node per cluster: send your stored-CLC DDV list.
 struct GcRequest final : net::ControlPayload {
+    static constexpr std::uint32_t kKind = 10;
+    GcRequest() : ControlPayload(kKind) {}
   std::uint64_t gc_round{0};
 };
 
 /// Reply: the cluster's retained checkpoint metadata (§3.5).
 struct GcResponse final : net::ControlPayload {
+    static constexpr std::uint32_t kKind = 11;
+    GcResponse() : ControlPayload(kKind) {}
   std::uint64_t gc_round{0};
   ClusterId cluster{};
   std::vector<proto::ClcMeta> metas;
@@ -116,12 +138,16 @@ struct GcResponse final : net::ControlPayload {
 
 /// GC initiator -> one node per cluster: the smallest-SN vector; prune.
 struct GcCollect final : net::ControlPayload {
+    static constexpr std::uint32_t kKind = 12;
+    GcCollect() : ControlPayload(kKind) {}
   std::uint64_t gc_round{0};
   std::vector<SeqNum> min_sns;
 };
 
 /// Intra-cluster broadcast of GcCollect so every node prunes its log.
 struct GcPrune final : net::ControlPayload {
+    static constexpr std::uint32_t kKind = 13;
+    GcPrune() : ControlPayload(kKind) {}
   Incarnation inc{0};
   std::vector<SeqNum> min_sns;
 };

@@ -47,8 +47,19 @@ struct Piggyback {
 /// the protocol that defines them (src/hc3i/control.hpp, baselines); the
 /// network carries them opaquely by shared_ptr (messages are immutable once
 /// sent, so sharing is safe and keeps re-send cheap).
+///
+/// `kind` is a protocol-defined dispatch tag (each payload type passes its
+/// unique constant up from its constructor): receive dispatch is an integer
+/// compare per candidate instead of a dynamic_cast, which matters because
+/// every control message crosses it.  Tag ranges are per protocol
+/// (hc3i 1-13, global baseline 20+, pessimistic 30+); payloads never cross
+/// protocols, the ranges just keep mistakes loud.
 struct ControlPayload {
+  ControlPayload() = default;
+  explicit ControlPayload(std::uint32_t k) : kind(k) {}
   virtual ~ControlPayload() = default;
+
+  std::uint32_t kind{0};
 };
 
 /// One message in flight.
@@ -77,5 +88,15 @@ struct Envelope {
     return payload_bytes + (cls == MsgClass::kApp ? piggy.wire_bytes() : 0);
   }
 };
+
+/// Downcast a received envelope's control payload iff its kind tag matches
+/// `T::kKind` — an integer compare per candidate type, not a dynamic_cast
+/// (this runs for every control message a protocol receives).
+template <typename T>
+const T* payload_as(const Envelope& env) {
+  const ControlPayload* p = env.control.get();
+  return p != nullptr && p->kind == T::kKind ? static_cast<const T*>(p)
+                                             : nullptr;
+}
 
 }  // namespace hc3i::net

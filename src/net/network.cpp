@@ -1,6 +1,8 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "util/log.hpp"
 
@@ -10,7 +12,10 @@ Network::Network(sim::Simulation& sim, const Topology& topo,
                  stats::Registry& reg)
     : sim_(sim), topo_(topo), reg_(reg),
       deliver_(topo.node_count()),
-      up_(topo.node_count(), true) {}
+      up_(topo.node_count(), true),
+      park_head_(topo.node_count(), kNil),
+      park_tail_(topo.node_count(), kNil),
+      pair_census_(topo.cluster_count() * topo.cluster_count(), nullptr) {}
 
 void Network::attach(NodeId n, DeliverFn deliver) {
   HC3I_CHECK(n.v < deliver_.size(), "attach: bad node id");
@@ -18,15 +23,87 @@ void Network::attach(NodeId n, DeliverFn deliver) {
 }
 
 void Network::count_send(const Envelope& env) {
-  const std::string dir = env.intra_cluster() ? "intra" : "inter";
-  const std::string cls = env.cls == MsgClass::kApp ? "app" : "ctl";
-  reg_.inc("net." + cls + "." + dir + ".msgs");
-  reg_.inc("net." + cls + "." + dir + ".bytes", env.wire_bytes());
-  if (env.cls == MsgClass::kApp) {
-    // Per-cluster-pair census — this is Table 1 of the paper.
-    reg_.inc("net.app.pair." + std::to_string(env.src_cluster.v) + "." +
-             std::to_string(env.dst_cluster.v));
+  const bool app = env.cls == MsgClass::kApp;
+  const bool intra = env.intra_cluster();
+  TrafficCounters& tc = traffic_[app][intra];
+  if (!tc.msgs) {
+    const std::string key = std::string("net.") + (app ? "app" : "ctl") + "." +
+                            (intra ? "intra" : "inter");
+    tc.msgs = &reg_.counter(key + ".msgs");
+    tc.bytes = &reg_.counter(key + ".bytes");
   }
+  tc.msgs->inc();
+  tc.bytes->inc(env.wire_bytes());
+  if (app) {
+    // Per-cluster-pair census — this is Table 1 of the paper.  A dense
+    // matrix of pre-resolved handles; the name string is built once per
+    // pair per run, not once per message.
+    stats::Counter*& cell =
+        pair_census_[env.src_cluster.v * topo_.cluster_count() +
+                     env.dst_cluster.v];
+    if (!cell) {
+      cell = &reg_.counter("net.app.pair." + std::to_string(env.src_cluster.v) +
+                           "." + std::to_string(env.dst_cluster.v));
+    }
+    cell->inc();
+  }
+}
+
+std::uint32_t Network::alloc_flight() {
+  std::uint32_t slot;
+  if (!free_flights_.empty()) {
+    slot = free_flights_.back();
+    free_flights_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(flights_.size());
+    flights_.emplace_back();
+  }
+  flights_[slot].live = true;
+  ++live_flights_;
+  return slot;
+}
+
+void Network::release_flight(std::uint32_t slot) {
+  Flight& f = flights_[slot];
+  f.env = {};  // drop payload references now, not when the slot is reused
+  f.live = false;
+  f.parked = false;
+  f.park_prev = f.park_next = kNil;
+  f.event = {};
+  ++f.gen;
+  free_flights_.push_back(slot);
+  --live_flights_;
+}
+
+void Network::park(std::uint32_t slot) {
+  Flight& f = flights_[slot];
+  f.parked = true;
+  const std::uint32_t node = f.env.dst.v;
+  f.park_prev = park_tail_[node];
+  f.park_next = kNil;
+  if (park_tail_[node] != kNil) {
+    flights_[park_tail_[node]].park_next = slot;
+  } else {
+    park_head_[node] = slot;
+  }
+  park_tail_[node] = slot;
+}
+
+void Network::unpark(std::uint32_t slot) {
+  Flight& f = flights_[slot];
+  const std::uint32_t node = f.env.dst.v;
+  if (f.park_prev != kNil) {
+    flights_[f.park_prev].park_next = f.park_next;
+  } else {
+    park_head_[node] = f.park_next;
+  }
+  if (f.park_next != kNil) {
+    flights_[f.park_next].park_prev = f.park_prev;
+  } else {
+    park_tail_[node] = f.park_prev;
+  }
+  f.park_prev = f.park_next = kNil;
+  f.parked = false;
 }
 
 MsgId Network::send(Envelope env) {
@@ -46,23 +123,27 @@ MsgId Network::send(Envelope env) {
                             link.bytes_per_sec);
   }
   const MsgId id = env.id;
-  Flight flight{std::move(env), {}, false};
-  flight.event = sim_.schedule_after(delay, [this, id] { arrive(id); });
-  in_flight_.emplace(id.v, std::move(flight));
+  const std::uint32_t slot = alloc_flight();
+  Flight& f = flights_[slot];
+  f.env = std::move(env);
+  f.event = sim_.schedule_after(
+      delay, [this, slot, gen = f.gen] { arrive(slot, gen); });
   return id;
 }
 
-void Network::arrive(MsgId id) {
-  const auto it = in_flight_.find(id.v);
-  HC3I_CHECK(it != in_flight_.end(), "arrive: unknown message");
-  if (!up_[it->second.env.dst.v]) {
+void Network::arrive(std::uint32_t slot, std::uint32_t gen) {
+  HC3I_CHECK(slot < flights_.size() && flights_[slot].live &&
+                 flights_[slot].gen == gen,
+             "arrive: unknown message");
+  Flight& f = flights_[slot];
+  if (!up_[f.env.dst.v]) {
     // Destination is down: park. Delivered on set_node_up — the network is
     // reliable (paper §2.1), it never drops.
-    it->second.parked = true;
+    park(slot);
     return;
   }
-  Envelope env = std::move(it->second.env);
-  in_flight_.erase(it);
+  Envelope env = std::move(f.env);
+  release_flight(slot);
   const auto& fn = deliver_[env.dst.v];
   HC3I_CHECK(static_cast<bool>(fn), "arrive: node has no receive handler");
   fn(env);
@@ -78,16 +159,21 @@ void Network::set_node_up(NodeId n) {
   if (up_[n.v]) return;
   up_[n.v] = true;
   // Deliver parked messages for this node, in MsgId (send) order, as fresh
-  // immediate events so handlers run from a clean stack.
-  std::vector<MsgId> ready;
-  for (const auto& [mid, flight] : in_flight_) {
-    if (flight.parked && flight.env.dst == n) ready.push_back(MsgId{mid});
+  // immediate events so handlers run from a clean stack.  Only this node's
+  // parked list is touched — O(parked here), not O(all in flight).
+  std::vector<std::uint32_t> ready;
+  for (std::uint32_t s = park_head_[n.v]; s != kNil; s = flights_[s].park_next) {
+    ready.push_back(s);
   }
-  for (MsgId mid : ready) {
-    auto& flight = in_flight_.at(mid.v);
-    flight.parked = false;
-    flight.event = sim_.schedule_after(SimTime::zero(),
-                                       [this, mid] { arrive(mid); });
+  std::sort(ready.begin(), ready.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return flights_[a].env.id.v < flights_[b].env.id.v;
+            });
+  for (const std::uint32_t slot : ready) {
+    unpark(slot);
+    Flight& f = flights_[slot];
+    f.event = sim_.schedule_after(
+        SimTime::zero(), [this, slot, gen = f.gen] { arrive(slot, gen); });
   }
 }
 
@@ -98,24 +184,36 @@ bool Network::node_up(NodeId n) const {
 
 std::vector<Envelope> Network::snapshot_in_flight(
     const std::function<bool(const Envelope&)>& pred) const {
-  std::vector<Envelope> out;
-  for (const auto& [_, flight] : in_flight_) {
-    if (pred(flight.env)) out.push_back(flight.env);
+  // Gather matching slots, then emit in MsgId order: the captured channel
+  // state feeds protocol decisions, so its order is part of the
+  // bit-reproducibility contract.
+  std::vector<std::uint32_t> match;
+  for (std::uint32_t s = 0; s < flights_.size(); ++s) {
+    if (flights_[s].live && pred(flights_[s].env)) match.push_back(s);
   }
+  std::sort(match.begin(), match.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return flights_[a].env.id.v < flights_[b].env.id.v;
+            });
+  std::vector<Envelope> out;
+  out.reserve(match.size());
+  for (const std::uint32_t s : match) out.push_back(flights_[s].env);
   return out;
 }
 
 std::size_t Network::drop_in_flight(
     const std::function<bool(const Envelope&)>& pred) {
   std::size_t dropped = 0;
-  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
-    if (pred(it->second.env)) {
-      if (!it->second.parked) sim_.cancel(it->second.event);
-      it = in_flight_.erase(it);
-      ++dropped;
+  for (std::uint32_t s = 0; s < flights_.size(); ++s) {
+    Flight& f = flights_[s];
+    if (!f.live || !pred(f.env)) continue;
+    if (f.parked) {
+      unpark(s);
     } else {
-      ++it;
+      sim_.cancel(f.event);
     }
+    release_flight(s);
+    ++dropped;
   }
   return dropped;
 }

@@ -19,9 +19,15 @@
 //   * snapshot_in_flight(pred) — capture channel state at CLC commit,
 //   * drop_in_flight(pred)     — discard a rolled-back cluster's stale
 //                                intra-cluster traffic.
+//
+// Every message crosses this layer, so its bookkeeping is slot-indexed: a
+// flight lives in a recycled slab slot (O(1) add/remove, no per-message node
+// allocation), parked messages hang off a per-node intrusive list (reviving a
+// node is O(parked-for-that-node), not O(all in flight)), and the traffic
+// census bumps pre-resolved stats::Counter handles instead of building
+// name strings per send.
 
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "net/message.hpp"
@@ -56,7 +62,8 @@ class Network {
   bool node_up(NodeId n) const;
 
   /// Copy every in-flight (sent, not yet arrived, plus parked) envelope
-  /// matching `pred`. Used for CLC channel-state capture.
+  /// matching `pred`, in MsgId (send) order. Used for CLC channel-state
+  /// capture.
   std::vector<Envelope> snapshot_in_flight(
       const std::function<bool(const Envelope&)>& pred) const;
 
@@ -65,28 +72,53 @@ class Network {
   std::size_t drop_in_flight(const std::function<bool(const Envelope&)>& pred);
 
   /// Number of messages currently in flight or parked.
-  std::size_t in_flight_count() const { return in_flight_.size(); }
+  std::size_t in_flight_count() const { return live_flights_; }
 
   /// Total messages ever sent.
   std::uint64_t total_sent() const { return next_msg_id_; }
 
  private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
   struct Flight {
     Envelope env;
-    sim::EventId event;   ///< scheduled arrival (invalid while parked)
+    sim::EventId event;       ///< scheduled arrival (stale while parked)
+    std::uint32_t gen{1};     ///< bumped when the slot is recycled
+    std::uint32_t park_prev{kNil};  ///< intrusive per-destination parked list
+    std::uint32_t park_next{kNil};
+    bool live{false};
     bool parked{false};
   };
 
-  void arrive(MsgId id);
+  /// Pre-resolved census handles for one (class, direction) bucket.
+  struct TrafficCounters {
+    stats::Counter* msgs{nullptr};
+    stats::Counter* bytes{nullptr};
+  };
+
+  void arrive(std::uint32_t slot, std::uint32_t gen);
   void count_send(const Envelope& env);
+  std::uint32_t alloc_flight();
+  void release_flight(std::uint32_t slot);
+  void park(std::uint32_t slot);
+  void unpark(std::uint32_t slot);
 
   sim::Simulation& sim_;
   const Topology& topo_;
   stats::Registry& reg_;
   std::vector<DeliverFn> deliver_;     ///< indexed by NodeId
   std::vector<bool> up_;               ///< indexed by NodeId
-  std::map<std::uint64_t, Flight> in_flight_;  ///< keyed by MsgId value
+  std::vector<Flight> flights_;        ///< slot-indexed flight table
+  std::vector<std::uint32_t> free_flights_;  ///< recycled slots
+  std::vector<std::uint32_t> park_head_;     ///< per-node parked list head
+  std::vector<std::uint32_t> park_tail_;     ///< per-node parked list tail
+  std::size_t live_flights_{0};
   std::uint64_t next_msg_id_{1};
+
+  // Census handles, resolved on first touch so a run's counter set (and its
+  // dump) stays exactly what the traffic actually produced.
+  TrafficCounters traffic_[2][2];            ///< [is_app][is_intra]
+  std::vector<stats::Counter*> pair_census_; ///< clusters x clusters, row-major
 };
 
 }  // namespace hc3i::net

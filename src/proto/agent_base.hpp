@@ -53,6 +53,17 @@ class AgentBase : public ProtocolAgent {
   /// Simulation clock shorthand.
   SimTime now() const { return ctx_.sim->now(); }
 
+  /// Lazily resolve a registry counter handle into `slot`: the name lookup
+  /// happens once per agent, the counter still only exists once touched.
+  stats::Counter& named_stat(stats::Counter*& slot, std::string_view name) {
+    return stats::lazy_counter(*ctx_.registry, slot, [name] { return name; });
+  }
+
+  /// Lazily resolve a summary handle (see named_stat()).
+  stats::Summary& named_summary(stats::Summary*& slot, std::string_view name) {
+    return stats::lazy_summary(*ctx_.registry, slot, [name] { return name; });
+  }
+
   /// First node of a cluster — the conventional coordinator.
   NodeId coordinator_of(ClusterId c) const {
     return ctx_.topology->first_node(c);

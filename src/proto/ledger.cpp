@@ -1,6 +1,7 @@
 #include "proto/ledger.hpp"
 
-#include <map>
+#include <algorithm>
+#include <unordered_map>
 
 namespace hc3i::proto {
 
@@ -48,7 +49,10 @@ std::vector<std::string> ConsistencyLedger::validate(
     int live_sends{0};
     int live_deliveries{0};
   };
-  std::map<std::uint64_t, Tally> by_msg;
+  // Hashed tally (one pass over millions of events), then a sorted walk so
+  // violations always come out in app_seq order.
+  std::unordered_map<std::uint64_t, Tally> by_msg;
+  by_msg.reserve(events_.size());
   for (const auto& e : events_) {
     if (e.undone) continue;
     auto& t = by_msg[e.app_seq];
@@ -58,8 +62,13 @@ std::vector<std::string> ConsistencyLedger::validate(
       ++t.live_deliveries;
     }
   }
+  std::vector<std::uint64_t> order;
+  order.reserve(by_msg.size());
+  for (const auto& [app_seq, _] : by_msg) order.push_back(app_seq);
+  std::sort(order.begin(), order.end());
   std::vector<std::string> violations;
-  for (const auto& [app_seq, t] : by_msg) {
+  for (const std::uint64_t app_seq : order) {
+    const Tally& t = by_msg.find(app_seq)->second;
     if (t.live_deliveries > 1) {
       violations.push_back("message " + std::to_string(app_seq) +
                            " delivered " + std::to_string(t.live_deliveries) +

@@ -8,18 +8,21 @@ namespace hc3i::proto {
 
 void MsgLog::add(const net::Envelope& env) {
   HC3I_CHECK(!env.intra_cluster(), "MsgLog: only inter-cluster messages are logged");
+  HC3I_CHECK(entries_.empty() || entries_.back().env.id.v < env.id.v,
+             "MsgLog: sends must arrive in MsgId order");
   entries_.push_back(LogEntry{env, false, 0, 0});
+  ++unacked_;
 }
 
 void MsgLog::record_ack(MsgId id, SeqNum ack_sn, Incarnation ack_inc) {
-  for (auto& e : entries_) {
-    if (e.env.id == id) {
-      e.acked = true;
-      e.ack_sn = ack_sn;
-      e.ack_inc = ack_inc;
-      return;
-    }
-  }
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const LogEntry& e, MsgId target) { return e.env.id.v < target.v; });
+  if (it == entries_.end() || !(it->env.id == id)) return;
+  if (!it->acked) --unacked_;
+  it->acked = true;
+  it->ack_sn = ack_sn;
+  it->ack_inc = ack_inc;
 }
 
 std::vector<net::Envelope> MsgLog::take_resends(ClusterId dst,
@@ -41,6 +44,7 @@ std::vector<net::Envelope> MsgLog::take_resends(ClusterId dst,
   }
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(), needs_resend),
                  entries_.end());
+  recount_unacked();
   return out;
 }
 
@@ -51,6 +55,7 @@ std::size_t MsgLog::truncate_from(SeqNum restored_sn) {
   const std::size_t before = entries_.size();
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(), undone),
                  entries_.end());
+  recount_unacked();
   return before - entries_.size();
 }
 
@@ -61,13 +66,13 @@ std::size_t MsgLog::prune(ClusterId dst, SeqNum min_sn) {
   const std::size_t before = entries_.size();
   entries_.erase(std::remove_if(entries_.begin(), entries_.end(), stable),
                  entries_.end());
+  // Pruned entries were all acked, so unacked_ is unchanged.
   return before - entries_.size();
 }
 
-std::size_t MsgLog::unacked_count() const {
-  std::size_t n = 0;
-  for (const auto& e : entries_) n += e.acked ? 0 : 1;
-  return n;
+void MsgLog::recount_unacked() {
+  unacked_ = 0;
+  for (const auto& e : entries_) unacked_ += e.acked ? 0 : 1;
 }
 
 std::uint64_t MsgLog::bytes() const {

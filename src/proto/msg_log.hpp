@@ -59,18 +59,29 @@ class MsgLog {
   std::size_t size() const { return entries_.size(); }
   /// Entries whose acknowledgement has not arrived yet (messages whose
   /// delivery is still unconfirmed — the paper's §5.4 "logged messages"
-  /// high-water counts these).
-  std::size_t unacked_count() const;
+  /// high-water counts these).  Maintained incrementally: the high-water
+  /// instrumentation reads this on every inter-cluster send.
+  std::size_t unacked_count() const { return unacked_; }
   /// Modelled bytes held by the log.
   std::uint64_t bytes() const;
   /// Read-only view (tests, checkpoint capture).
   const std::vector<LogEntry>& entries() const { return entries_; }
   /// Replace the whole log (restoring a failed node from its checkpointed
   /// log copy — DESIGN.md §3 refinement).
-  void restore(std::vector<LogEntry> entries) { entries_ = std::move(entries); }
+  void restore(std::vector<LogEntry> entries) {
+    entries_ = std::move(entries);
+    recount_unacked();
+  }
 
  private:
+  void recount_unacked();
+
+  // Entries are appended as messages are sent, and every (re-)send gets a
+  // fresh, globally increasing MsgId from the network — so entries_ is
+  // always sorted by env.id and record_ack() can binary-search instead of
+  // scanning.
   std::vector<LogEntry> entries_;
+  std::size_t unacked_{0};
 };
 
 }  // namespace hc3i::proto

@@ -2,43 +2,85 @@
 
 namespace hc3i::sim {
 
+void EventQueue::sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(e, heap_[parent])) break;
+    put(i, heap_[parent]);
+    i = parent;
+  }
+  put(i, e);
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const Entry e = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], e)) break;
+    put(i, heap_[best]);
+    i = best;
+  }
+  put(i, e);
+}
+
+void EventQueue::remove_at(std::size_t i) {
+  const Entry moved = heap_.back();
+  heap_.pop_back();
+  if (i == heap_.size()) return;  // removed the tail entry itself
+  put(i, moved);
+  if (i > 0 && earlier(moved, heap_[(i - 1) >> 2])) {
+    sift_up(i);
+  } else {
+    sift_down(i);
+  }
+}
+
 EventId EventQueue::schedule(SimTime t, Callback cb) {
   HC3I_CHECK(static_cast<bool>(cb), "schedule: empty callback");
-  const std::uint64_t seq = next_seq_++;
-  callbacks_.push_back(std::move(cb));
-  heap_.push(Entry{t, seq});
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].cb = std::move(cb);
+  heap_.push_back(Entry{t, next_seq_++, slot});
+  slots_[slot].pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
   ++live_;
-  return EventId{seq};
+  return EventId{(static_cast<std::uint64_t>(slots_[slot].gen) << 32) | slot};
 }
 
 void EventQueue::cancel(EventId id) {
-  if (id.v >= callbacks_.size()) return;
-  if (callbacks_[id.v]) {
-    callbacks_[id.v] = nullptr;
-    --live_;
-  }
-}
-
-void EventQueue::drop_dead_top() const {
-  auto* self = const_cast<EventQueue*>(this);
-  while (!self->heap_.empty() && !self->callbacks_[self->heap_.top().seq]) {
-    self->heap_.pop();
-  }
-}
-
-SimTime EventQueue::peek_time() const {
-  HC3I_CHECK(!empty(), "peek_time on empty queue");
-  drop_dead_top();
-  return heap_.top().t;
+  const auto slot = static_cast<std::uint32_t>(id.v & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id.v >> 32);
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (s.gen != gen || !s.cb) return;  // stale id, already fired, or cancelled
+  s.cb = nullptr;
+  const std::uint32_t pos = s.pos;
+  release(slot);
+  remove_at(pos);
+  --live_;
 }
 
 std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
   HC3I_CHECK(!empty(), "pop on empty queue");
-  drop_dead_top();
-  const Entry top = heap_.top();
-  heap_.pop();
-  Callback cb = std::move(callbacks_[top.seq]);
-  callbacks_[top.seq] = nullptr;
+  const Entry top = heap_[0];
+  Callback cb = std::move(slots_[top.slot].cb);
+  slots_[top.slot].cb = nullptr;
+  release(top.slot);
+  remove_at(0);
   --live_;
   return {top.t, std::move(cb)};
 }

@@ -2,18 +2,28 @@
 
 // Pending-event set for the discrete-event simulator.
 //
-// A binary heap keyed on (time, sequence).  The sequence number makes
+// A 4-ary min-heap keyed on (time, sequence).  The sequence number makes
 // ordering of simultaneous events deterministic (FIFO in scheduling order),
 // which in turn makes whole simulations bit-reproducible — the property the
 // regression tests and the paper-reproduction benches depend on.
 //
-// Cancellation is O(1) lazily: a cancelled event stays in the heap and is
-// skipped when popped.  Timers (CLC periods are reset whenever a forced CLC
-// commits, paper §5.2) cancel and re-schedule constantly, so this matters.
+// Callbacks live in a slab of recycled slots rather than a table that grows
+// with every event ever scheduled: a 10-simulated-hour run schedules tens of
+// millions of events but only keeps thousands pending, and the slab's memory
+// tracks the pending set, not the total.  Each slot carries a generation
+// stamp and EventId encodes (slot, generation), so an id that outlives its
+// event — a timer cancelling after its own firing, or after the slot was
+// recycled for a newer event — cancels nothing but is always safe.
+//
+// Each slot also records its entry's current heap position, so cancel()
+// removes the entry immediately (O(log n) on a heap that only ever holds
+// live events).  Timers cancel and re-schedule constantly (CLC periods are
+// reset whenever a forced CLC commits, paper §5.2); with lazy cancellation
+// the dead entries pile up and every heap operation pays for them — eager
+// removal keeps the heap at the size of the genuinely pending set.
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/check.hpp"
@@ -21,7 +31,9 @@
 
 namespace hc3i::sim {
 
-/// Identifies a scheduled event; used to cancel it.
+/// Identifies a scheduled event; used to cancel it.  Packs the slab slot in
+/// the low 32 bits and the slot's generation in the high 32; generations
+/// start at 1, so a default-constructed id matches nothing.
 struct EventId {
   std::uint64_t v{0};
   constexpr bool operator==(const EventId&) const = default;
@@ -36,8 +48,9 @@ class EventQueue {
   /// scheduling order. Returns an id usable with cancel().
   EventId schedule(SimTime t, Callback cb);
 
-  /// Cancel a scheduled event. Cancelling an already-fired or already-
-  /// cancelled event is a harmless no-op (timers race with their own firing).
+  /// Cancel a scheduled event. Cancelling an already-fired, already-
+  /// cancelled, or otherwise stale id is a harmless no-op (timers race with
+  /// their own firing; the generation stamp keeps recycled slots safe).
   void cancel(EventId id);
 
   /// True when no live (non-cancelled) events remain.
@@ -47,7 +60,10 @@ class EventQueue {
   std::size_t size() const { return live_; }
 
   /// Time of the earliest live event; REQUIRES !empty().
-  SimTime peek_time() const;
+  SimTime peek_time() const {
+    HC3I_CHECK(!empty(), "peek_time on empty queue");
+    return heap_[0].t;
+  }
 
   /// Remove and return the earliest live event's callback and time.
   /// REQUIRES !empty().
@@ -56,24 +72,49 @@ class EventQueue {
   /// Total events ever scheduled (statistics).
   std::uint64_t scheduled_count() const { return next_seq_; }
 
+  /// Size of the callback slab — tracks peak simultaneous events, not total
+  /// scheduled (bounded-memory regression checks use this).
+  std::size_t slot_count() const { return slots_.size(); }
+
  private:
   struct Entry {
     SimTime t;
     std::uint64_t seq;
-    bool operator>(const Entry& o) const {
-      if (t != o.t) return t > o.t;
-      return seq > o.seq;
-    }
+    std::uint32_t slot;
   };
 
-  // Heap holds (time, seq); payloads live in a side table so cancel() does
-  // not need to touch the heap. The side table is keyed by seq.
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  std::vector<Callback> callbacks_;  // indexed by seq; empty fn == cancelled
+  struct Slot {
+    Callback cb;            ///< empty == cancelled or already fired
+    std::uint32_t gen{1};   ///< bumped when the slot is recycled
+    std::uint32_t pos{0};   ///< heap index of this slot's entry (while live)
+  };
+
+  /// Heap order: earliest time first, scheduling order among equals.
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Remove the entry at heap index `i`, restoring the heap invariant.
+  void remove_at(std::size_t i);
+  /// Recycle a slot whose heap entry has been removed.
+  void release(std::uint32_t slot) {
+    ++slots_[slot].gen;
+    free_.push_back(slot);
+  }
+  /// Place `e` at heap index `i` and keep its slot's position current.
+  void put(std::size_t i, const Entry& e) {
+    heap_[i] = e;
+    slots_[e.slot].pos = static_cast<std::uint32_t>(i);
+  }
+
+  std::vector<Entry> heap_;               ///< live entries only (4-ary heap)
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;       ///< recycled slot indices
   std::uint64_t next_seq_{0};
   std::size_t live_{0};
-
-  void drop_dead_top() const;
 };
 
 }  // namespace hc3i::sim

@@ -257,7 +257,7 @@ TEST(Rollback, RepeatedFaultsStayConsistent) {
     const std::uint64_t s = w.send(NodeId{0}, NodeId{3});
     w.settle();
     EXPECT_TRUE(w.delivered(NodeId{3}, s));
-    w.fed.inject_failure(NodeId{(round % 6)});
+    w.fed.inject_failure(NodeId{static_cast<std::uint32_t>(round % 6)});
     w.settle(minutes(2));
     EXPECT_TRUE(w.fed.ledger().validate(false).empty()) << "round " << round;
   }

@@ -105,7 +105,9 @@ TEST_F(NetworkTest, AssignsUniqueIdsAndClusters) {
   ASSERT_EQ(received_.size(), 2u);
   for (const auto& [node, env] : received_) {
     EXPECT_EQ(env.src_cluster, ClusterId{0});
-    if (node == NodeId{5}) EXPECT_EQ(env.dst_cluster, ClusterId{1});
+    if (node == NodeId{5}) {
+      EXPECT_EQ(env.dst_cluster, ClusterId{1});
+    }
   }
 }
 
@@ -128,6 +130,58 @@ TEST_F(NetworkTest, ParkedWhileDownDeliveredOnRevival) {
   net_.set_node_up(NodeId{1});
   sim_.run_all();
   ASSERT_EQ(received_.size(), 1u);  // the network is reliable (paper §2.1)
+}
+
+TEST_F(NetworkTest, ParkedMessagesDeliverInSendOrder) {
+  // Park several messages whose arrival order differs from their send order
+  // (the big head-of-line message arrives last); revival must deliver in
+  // MsgId (send) order regardless.
+  net_.set_node_down(NodeId{1});
+  net_.send(app_env(NodeId{0}, NodeId{1}, 1'000'000));  // seq 1, arrives last
+  net_.send(app_env(NodeId{0}, NodeId{1}, 10));         // seq 2, arrives first
+  net_.send(app_env(NodeId{2}, NodeId{1}, 500));        // seq 3
+  sim_.run_until(seconds(1));
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(net_.in_flight_count(), 3u);
+  net_.set_node_up(NodeId{1});
+  sim_.run_all();
+  ASSERT_EQ(received_.size(), 3u);
+  EXPECT_EQ(received_[0].second.app_seq, 1u);
+  EXPECT_EQ(received_[1].second.app_seq, 2u);
+  EXPECT_EQ(received_[2].second.app_seq, 3u);
+}
+
+TEST_F(NetworkTest, RevivalOnlyTouchesThatNodesParkedMessages) {
+  net_.set_node_down(NodeId{1});
+  net_.set_node_down(NodeId{2});
+  net_.send(app_env(NodeId{0}, NodeId{1}));
+  net_.send(app_env(NodeId{0}, NodeId{2}));
+  sim_.run_until(seconds(1));
+  EXPECT_EQ(net_.in_flight_count(), 2u);
+  net_.set_node_up(NodeId{1});
+  sim_.run_all();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].first, NodeId{1});
+  EXPECT_EQ(net_.in_flight_count(), 1u);  // node 2's message still parked
+  net_.set_node_up(NodeId{2});
+  sim_.run_all();
+  EXPECT_EQ(received_.size(), 2u);
+  EXPECT_EQ(net_.in_flight_count(), 0u);
+}
+
+TEST_F(NetworkTest, RepeatedDownUpCyclesKeepParkingConsistent) {
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    net_.set_node_down(NodeId{1});
+    net_.send(app_env(NodeId{0}, NodeId{1}));
+    net_.send(app_env(NodeId{3}, NodeId{1}));
+    sim_.run_until(sim_.now() + seconds(1));
+    net_.set_node_up(NodeId{1});
+    sim_.run_all();
+  }
+  ASSERT_EQ(received_.size(), 6u);
+  for (std::size_t i = 1; i < received_.size(); ++i) {
+    EXPECT_LT(received_[i - 1].second.app_seq, received_[i].second.app_seq);
+  }
 }
 
 TEST_F(NetworkTest, SnapshotInFlightSeesUnarrived) {

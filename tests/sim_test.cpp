@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -57,6 +58,84 @@ TEST(EventQueue, PeekSkipsCancelled) {
   q.schedule(seconds(5), [] {});
   q.cancel(early);
   EXPECT_EQ(q.peek_time(), seconds(5));
+}
+
+TEST(EventQueue, RecyclesCancelledSlots) {
+  // A long-lived queue must not grow its side table with every event ever
+  // scheduled — slots of fired/cancelled events are reused.
+  EventQueue q;
+  int fired = 0;
+  for (int round = 0; round < 10'000; ++round) {
+    const EventId a = q.schedule(SimTime{round + 1}, [&] { ++fired; });
+    q.schedule(SimTime{round + 1}, [&] { ++fired; });
+    q.cancel(a);
+    q.pop().second();
+  }
+  EXPECT_EQ(fired, 10'000);
+  EXPECT_TRUE(q.empty());
+  // Peak simultaneity here is 2, so the slab stays tiny (vs 20k scheduled).
+  EXPECT_LE(q.slot_count(), 4u);
+  EXPECT_EQ(q.scheduled_count(), 20'000u);
+}
+
+TEST(EventQueue, StaleCancelOfRecycledSlotIsSafe) {
+  EventQueue q;
+  int first_fired = 0;
+  int second_fired = 0;
+  const EventId stale = q.schedule(seconds(1), [&] { ++first_fired; });
+  q.cancel(stale);
+  EXPECT_TRUE(q.empty());
+  // The next schedule reuses the slot; the stale id must not touch it.
+  const EventId fresh = q.schedule(seconds(2), [&] { ++second_fired; });
+  EXPECT_FALSE(stale == fresh);
+  q.cancel(stale);  // stale generation: harmless no-op
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(first_fired, 0);
+  EXPECT_EQ(second_fired, 1);
+}
+
+TEST(EventQueue, CancelAfterFiringIsSafeAcrossReuse) {
+  // The timer race: an event fires, its slot is recycled by a new event,
+  // and only then does the stale cancel arrive.
+  EventQueue q;
+  int fired = 0;
+  const EventId old_id = q.schedule(seconds(1), [&] { ++fired; });
+  q.pop().second();  // fires; slot released
+  EXPECT_EQ(fired, 1);
+  q.schedule(seconds(2), [&] { ++fired; });  // reuses the slot
+  q.cancel(old_id);                          // must not cancel the new event
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().second();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, DefaultEventIdCancelsNothing) {
+  EventQueue q;
+  q.schedule(seconds(1), [] {});
+  q.cancel(EventId{});
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, OrderPreservedUnderCancelChurn) {
+  // Interleave schedules and cancels and verify the surviving events still
+  // pop in (time, scheduling order) — the bit-reproducibility contract.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(
+        q.schedule(SimTime{(i * 37) % 10 + 1}, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 100; i += 3) q.cancel(ids[i]);
+  std::vector<int> expected;
+  for (int i = 0; i < 100; ++i) {
+    if (i % 3 != 0) expected.push_back(i);
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](int a, int b) { return (a * 37) % 10 < (b * 37) % 10; });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, expected);
 }
 
 TEST(EventQueue, PopOnEmptyThrows) {

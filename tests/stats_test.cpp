@@ -107,6 +107,73 @@ TEST(Registry, Summaries) {
   EXPECT_EQ(r.summary("absent").count(), 0u);
 }
 
+TEST(Registry, HandleAndNameApisShareStorage) {
+  Registry r;
+  Counter& c = r.counter("hits");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(r.get("hits"), 5u);       // name shim reads handle-backed storage
+  r.inc("hits", 2);                   // and writes land where the handle reads
+  EXPECT_EQ(c.value(), 7u);
+  EXPECT_EQ(&r.counter("hits"), &c);  // re-resolution returns the same slot
+  c.raise(3);
+  EXPECT_EQ(c.value(), 7u);
+  c.raise(11);
+  EXPECT_EQ(r.get("hits"), 11u);
+  c.set(2);
+  EXPECT_EQ(r.get("hits"), 2u);
+
+  Summary& s = r.summary_handle("lat");
+  s.add(1.0);
+  r.observe("lat", 3.0);
+  EXPECT_EQ(r.summary("lat").count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(Registry, HandlesStayValidAsRegistryGrows) {
+  Registry r;
+  Counter& first = r.counter("first");
+  first.inc();
+  // Force enough interning to grow every internal structure several times.
+  for (int i = 0; i < 3000; ++i) {
+    r.counter("filler." + std::to_string(i)).inc();
+  }
+  first.inc();
+  EXPECT_EQ(r.get("first"), 2u);
+  EXPECT_EQ(r.counter_names().size(), 3001u);
+}
+
+TEST(Registry, ConstSummaryLookupTracksLaterObservations) {
+  // Regression: the old implementation returned a shared static empty
+  // summary for untouched names, so a reference taken before the first
+  // observe() never saw the data.
+  Registry r;
+  const Registry& cr = r;
+  const Summary& s = cr.summary("lat");
+  EXPECT_EQ(s.count(), 0u);
+  r.observe("lat", 4.0);
+  r.observe("lat", 6.0);
+  EXPECT_EQ(s.count(), 2u);  // the earlier reference sees the live slot
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // And the const read must not have invented a counter.
+  EXPECT_TRUE(cr.counter_names().empty());
+}
+
+TEST(Registry, CopyIsDeepAndIndependent) {
+  Registry r;
+  r.counter("a").inc(3);
+  r.observe("lat", 1.0);
+  Registry copy = r;
+  copy.counter("a").inc();
+  copy.observe("lat", 9.0);
+  EXPECT_EQ(r.get("a"), 3u);
+  EXPECT_EQ(copy.get("a"), 4u);
+  EXPECT_EQ(r.summary("lat").count(), 1u);
+  EXPECT_EQ(copy.summary("lat").count(), 2u);
+  r = copy;
+  EXPECT_EQ(r.get("a"), 4u);
+}
+
 TEST(Registry, NamesSortedAndDump) {
   Registry r;
   r.inc("zulu");
