@@ -8,9 +8,17 @@
 //   msgs      — network send/deliver: every message crosses Network::send
 //               (stats census, flight registry, arrival scheduling), the
 //               per-message path of Table 1's census.
+//   msgs_ddv  — the same kernel with a 3-entry transitive DDV piggyback on
+//               every application message (paper §7): the piggyback-dominated
+//               message path whose cost Table 1 argues about.
 //   whole_sim — an end-to-end run of the paper's §5 reference scenario via
 //               driver::run_simulation, the macro number the ROADMAP perf
 //               trajectory tracks.
+//
+// Each kernel also reports an allocations-per-op proxy: the bench overrides
+// global operator new/delete with counting shims, so the steady-state heap
+// traffic of the hot path is a first-class regression number next to the
+// rate (the zero-allocation message path is an invariant, not a vibe).
 //
 // Emits machine-readable results to BENCH_micro.json (override with --out=)
 // so CI can archive the perf trajectory; --dump-counters prints the registry
@@ -20,8 +28,57 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <vector>
+
+// --- allocation counting ----------------------------------------------------
+// Counting shims for every replaceable allocation function.  Single-threaded
+// by construction (the bench is), so a plain counter is exact.
+
+namespace {
+std::uint64_t g_allocs = 0;
+
+void* counted_alloc(std::size_t n) {
+  ++g_allocs;
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void* counted_alloc(std::size_t n, std::align_val_t align) {
+  ++g_allocs;
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), n != 0 ? n : 1) != 0) {
+    throw std::bad_alloc{};
+  }
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_allocs;
+  return std::malloc(n != 0 ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_allocs;
+  return std::malloc(n != 0 ? n : 1);
+}
+void* operator new(std::size_t n, std::align_val_t a) { return counted_alloc(n, a); }
+void* operator new[](std::size_t n, std::align_val_t a) { return counted_alloc(n, a); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
 
 #include "config/presets.hpp"
 #include "driver/run.hpp"
@@ -52,7 +109,12 @@ long peak_rss_kb() {
 struct KernelResult {
   std::uint64_t ops{0};
   double elapsed_sec{0.0};
+  std::uint64_t allocs{0};  ///< operator-new calls during the timed region
   double rate() const { return elapsed_sec > 0 ? ops / elapsed_sec : 0.0; }
+  double allocs_per_op() const {
+    return ops > 0 ? static_cast<double>(allocs) / static_cast<double>(ops)
+                   : 0.0;
+  }
 };
 
 /// Timer-churn kernel: W live timers, each op cancels one and schedules a
@@ -67,6 +129,7 @@ KernelResult bench_events(std::uint64_t ops, std::uint64_t seed) {
   std::vector<sim::EventId> live(kWindow);
 
   const double t0 = now_sec();
+  const std::uint64_t allocs0 = g_allocs;
   for (std::size_t i = 0; i < kWindow; ++i) {
     live[i] = q.schedule(SimTime{static_cast<std::int64_t>(i + 1)},
                          [&fired] { ++fired; });
@@ -86,13 +149,17 @@ KernelResult bench_events(std::uint64_t ops, std::uint64_t seed) {
   while (!q.empty()) q.pop().second();
   const double elapsed = now_sec() - t0;
   if (fired == 0) std::fprintf(stderr, "events kernel: nothing fired?\n");
-  return KernelResult{ops + kWindow, elapsed};
+  return KernelResult{ops + kWindow, elapsed, g_allocs - allocs0};
 }
 
 /// Network send/deliver kernel over a 2-cluster federation: alternating
 /// intra/inter application traffic plus a control-plane share, draining the
-/// simulation in batches so the flight table stays populated.
-KernelResult bench_msgs(std::uint64_t msgs, std::uint64_t seed) {
+/// simulation in batches so the flight table stays populated.  When
+/// `with_ddv` is set, every application message carries a 3-entry transitive
+/// DDV piggyback (paper §7) — the path where the envelope used to heap-
+/// allocate per message.  A warm-up batch runs before the timed region so
+/// allocs-per-op reports the steady state, not slab/registry growth.
+KernelResult bench_msgs(std::uint64_t msgs, std::uint64_t seed, bool with_ddv) {
   sim::Simulation sim(seed);
   stats::Registry reg;
   const net::Topology topo(config::small_test_spec(2, 32).topology);
@@ -104,9 +171,17 @@ KernelResult bench_msgs(std::uint64_t msgs, std::uint64_t seed) {
   RngStream rng(seed, 11);
   const std::uint32_t n = topo.node_count();
 
-  const double t0 = now_sec();
   constexpr std::uint64_t kBatch = 256;
-  for (std::uint64_t m = 0; m < msgs; ++m) {
+  constexpr std::uint64_t kWarmup = 4 * kBatch;
+  double t0 = 0.0;
+  std::uint64_t allocs0 = 0;
+  const std::uint64_t total = msgs + kWarmup;
+  for (std::uint64_t m = 0; m < total; ++m) {
+    if (m == kWarmup) {  // steady state reached: slabs and census are warm
+      sim.run_all();
+      t0 = now_sec();
+      allocs0 = g_allocs;
+    }
     net::Envelope env;
     env.src = NodeId{static_cast<std::uint32_t>(rng.next_below(n))};
     do {
@@ -120,14 +195,19 @@ KernelResult bench_msgs(std::uint64_t msgs, std::uint64_t seed) {
       env.payload_bytes = 1024;
       env.app_seq = m + 1;
       env.piggy.sn = static_cast<SeqNum>(m % 50);
+      if (with_ddv) {
+        env.piggy.ddv = {static_cast<SeqNum>(m % 50),
+                         static_cast<SeqNum>(m % 31),
+                         static_cast<SeqNum>(m % 17)};
+      }
     }
     net.send(std::move(env));
     if (m % kBatch == kBatch - 1) sim.run_all();
   }
   sim.run_all();
   const double elapsed = now_sec() - t0;
-  if (delivered != msgs) std::fprintf(stderr, "msgs kernel: lost messages?\n");
-  return KernelResult{msgs, elapsed};
+  if (delivered != total) std::fprintf(stderr, "msgs kernel: lost messages?\n");
+  return KernelResult{msgs, elapsed, g_allocs - allocs0};
 }
 
 /// End-to-end run of the paper's §5 reference scenario (2 clusters x 100
@@ -143,9 +223,10 @@ KernelResult bench_whole_sim(std::uint64_t seed) {
   opts.spec.application.total_time = hours(1);
   opts.seed = seed;
   const double t0 = now_sec();
+  const std::uint64_t allocs0 = g_allocs;
   const auto result = driver::run_simulation(opts);
   const double elapsed = now_sec() - t0;
-  return KernelResult{result.events_executed, elapsed};
+  return KernelResult{result.events_executed, elapsed, g_allocs - allocs0};
 }
 
 void dump_counters() {
@@ -183,22 +264,27 @@ int main(int argc, char** argv) {
   const auto event_ops = static_cast<std::uint64_t>(4'000'000 * scale);
   const auto msg_ops = static_cast<std::uint64_t>(400'000 * scale);
 
-  KernelResult events, msgs, whole;
+  KernelResult events, msgs, msgs_ddv, whole;
+  const auto fold = [](KernelResult& acc, const KernelResult& r) {
+    acc.ops += r.ops;
+    acc.elapsed_sec += r.elapsed_sec;
+    acc.allocs += r.allocs;
+  };
   for (std::uint64_t s = 1; s <= seeds; ++s) {
-    const auto e = bench_events(event_ops, s);
-    const auto m = bench_msgs(msg_ops, s);
-    const auto w = bench_whole_sim(s);
-    events.ops += e.ops;
-    events.elapsed_sec += e.elapsed_sec;
-    msgs.ops += m.ops;
-    msgs.elapsed_sec += m.elapsed_sec;
-    whole.ops += w.ops;
-    whole.elapsed_sec += w.elapsed_sec;
+    fold(events, bench_events(event_ops, s));
+    fold(msgs, bench_msgs(msg_ops, s, /*with_ddv=*/false));
+    fold(msgs_ddv, bench_msgs(msg_ops, s, /*with_ddv=*/true));
+    fold(whole, bench_whole_sim(s));
   }
 
-  std::printf("events    : %12.0f events/sec\n", events.rate());
-  std::printf("msgs      : %12.0f msgs/sec\n", msgs.rate());
-  std::printf("whole_sim : %12.0f events/sec\n", whole.rate());
+  std::printf("events    : %12.0f events/sec  (%.4f allocs/op)\n",
+              events.rate(), events.allocs_per_op());
+  std::printf("msgs      : %12.0f msgs/sec    (%.4f allocs/msg)\n",
+              msgs.rate(), msgs.allocs_per_op());
+  std::printf("msgs_ddv  : %12.0f msgs/sec    (%.4f allocs/msg)\n",
+              msgs_ddv.rate(), msgs_ddv.allocs_per_op());
+  std::printf("whole_sim : %12.0f events/sec  (%.4f allocs/event)\n",
+              whole.rate(), whole.allocs_per_op());
   std::printf("peak RSS  : %ld KB\n", peak_rss_kb());
 
   std::FILE* f = std::fopen(out.c_str(), "w");
@@ -206,24 +292,36 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s\n", out.c_str());
     return 1;
   }
+  const auto kernel_json = [f](const char* name, const KernelResult& r,
+                               const char* trailer) {
+    std::fprintf(f,
+                 "    \"%s\": {\"ops\": %llu, \"elapsed_sec\": %.6f, "
+                 "\"allocs\": %llu, \"allocs_per_op\": %.6f}%s\n",
+                 name, static_cast<unsigned long long>(r.ops), r.elapsed_sec,
+                 static_cast<unsigned long long>(r.allocs), r.allocs_per_op(),
+                 trailer);
+  };
   std::fprintf(f,
                "{\n"
                "  \"seeds\": %llu,\n"
                "  \"events_per_sec\": %.1f,\n"
                "  \"msgs_per_sec\": %.1f,\n"
+               "  \"msgs_ddv_per_sec\": %.1f,\n"
                "  \"whole_sim_events_per_sec\": %.1f,\n"
+               "  \"msgs_allocs_per_op\": %.6f,\n"
+               "  \"msgs_ddv_allocs_per_op\": %.6f,\n"
+               "  \"events_allocs_per_op\": %.6f,\n"
                "  \"peak_rss_kb\": %ld,\n"
-               "  \"kernels\": {\n"
-               "    \"events\": {\"ops\": %llu, \"elapsed_sec\": %.6f},\n"
-               "    \"msgs\": {\"ops\": %llu, \"elapsed_sec\": %.6f},\n"
-               "    \"whole_sim\": {\"ops\": %llu, \"elapsed_sec\": %.6f}\n"
-               "  }\n"
-               "}\n",
+               "  \"kernels\": {\n",
                static_cast<unsigned long long>(seeds), events.rate(),
-               msgs.rate(), whole.rate(), peak_rss_kb(),
-               static_cast<unsigned long long>(events.ops), events.elapsed_sec,
-               static_cast<unsigned long long>(msgs.ops), msgs.elapsed_sec,
-               static_cast<unsigned long long>(whole.ops), whole.elapsed_sec);
+               msgs.rate(), msgs_ddv.rate(), whole.rate(),
+               msgs.allocs_per_op(), msgs_ddv.allocs_per_op(),
+               events.allocs_per_op(), peak_rss_kb());
+  kernel_json("events", events, ",");
+  kernel_json("msgs", msgs, ",");
+  kernel_json("msgs_ddv", msgs_ddv, ",");
+  kernel_json("whole_sim", whole, "");
+  std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out.c_str());
   return 0;

@@ -59,7 +59,9 @@ proto::ProtocolAgent& Federation::agent(NodeId n) {
 }
 
 NodeId Federation::coordinator(ClusterId c) const {
-  for (const NodeId n : topo_.nodes_of(c)) {
+  const NodeId base = topo_.first_node(c);
+  for (std::uint32_t i = 0; i < topo_.cluster_size(c); ++i) {
+    const NodeId n{base.v + i};
     if (network_.node_up(n)) return n;
   }
   HC3I_UNREACHABLE("coordinator: entire cluster " + std::to_string(c.v) +

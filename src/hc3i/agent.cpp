@@ -42,7 +42,7 @@ proto::NodePart Hc3iAgent::make_part() const {
   // The hashed set iterates in an unspecified order; checkpoint parts are
   // protocol state, so canonicalise for bit-reproducibility.
   std::sort(part.dedup.begin(), part.dedup.end());
-  part.log = log_.entries();
+  part.log = log_.capture();
   return part;
 }
 
@@ -141,7 +141,11 @@ void Hc3iAgent::do_send(NodeId dst, std::uint64_t bytes,
   piggy.sn = sn_;
   piggy.incarnation = inc_;
   const bool inter = ctx_.topology->cluster_of(dst) != cluster();
-  if (inter && rt_.options().transitive_ddv) piggy.ddv = ddv_.values();
+  if (inter && rt_.options().transitive_ddv) {
+    // One shared representation per (SN, incarnation) epoch: the copy is an
+    // inline memcpy (or a refcount bump for spilled sizes), never a rebuild.
+    piggy.ddv = rt_.shared_piggy_ddv(cluster(), sn_, inc_, ddv_);
+  }
   const net::Envelope sent = send_app(dst, bytes, app_seq, piggy);
   if (inter) {
     // Optimistic sender-side log (paper §3.3).
@@ -259,12 +263,14 @@ void Hc3iAgent::deliver_and_ack(const net::Envelope& env) {
 }
 
 void Hc3iAgent::send_demand(ClusterId from, SeqNum sn,
-                            const std::vector<SeqNum>& observed_ddv) {
+                            const net::SmallDdv& observed_ddv) {
   auto demand = std::make_shared<ClcDemand>();
   demand->inc = inc_;
   demand->from_cluster = from;
   demand->observed_sn = sn;
-  if (rt_.options().transitive_ddv) demand->observed_ddv = observed_ddv;
+  if (rt_.options().transitive_ddv) {
+    demand->observed_ddv.assign(observed_ddv.begin(), observed_ddv.end());
+  }
   send_control_or_local(coordinator_of(cluster()),
                         ControlSizes::kSmall +
                             observed_ddv.size() * ControlSizes::kPerDdvEntry,
@@ -522,7 +528,14 @@ void Hc3iAgent::on_failure_detected(NodeId failed) {
   rollback_cluster(std::move(rec), /*fault_origin=*/true);
 }
 
-void Hc3iAgent::rollback_cluster(proto::ClcRecord rec, bool fault_origin) {
+void Hc3iAgent::rollback_cluster(proto::ClcRecord rec_arg, bool fault_origin) {
+  // The record is shared by the two deferred resume events below; a
+  // shared_ptr capture keeps each event callable within the queue's inline
+  // storage (the record itself is cold-path state, allocated once per
+  // rollback).
+  const auto rec_sp =
+      std::make_shared<const proto::ClcRecord>(std::move(rec_arg));
+  const proto::ClcRecord& rec = *rec_sp;
   const ClusterId c = cluster();
   const Incarnation new_inc = rt_.bump_incarnation(c);
   named_stat(stat_rollback_global_, "rollback.count").inc();
@@ -557,21 +570,19 @@ void Hc3iAgent::rollback_cluster(proto::ClcRecord rec, bool fault_origin) {
 
   // 5. Re-inject the channel state once every node has restored.
   const SimTime resume_delay = state_restore_delay();
-  const auto channel = rec.channel;
   ctx_.sim->schedule_after(
-      resume_delay + microseconds(1), [this, channel, new_inc] {
+      resume_delay + microseconds(1), [this, rec_sp, new_inc] {
         if (inc_ != new_inc) return;  // superseded by a deeper rollback
-        for (const net::Envelope& env : channel) {
+        for (const net::Envelope& env : rec_sp->channel) {
           Hc3iAgent* dst = rt_.cluster_agents(cluster())[local_index(env.dst)];
           dst->on_app_message(env);
         }
       });
 
   // 6. Resume the application after the state transfer completes.
-  const proto::ClcRecord resumed = rec;
-  ctx_.sim->schedule_after(resume_delay, [this, resumed, new_inc] {
+  ctx_.sim->schedule_after(resume_delay, [this, rec_sp, new_inc] {
     for (Hc3iAgent* peer : rt_.cluster_agents(cluster())) {
-      if (peer->inc_ == new_inc) peer->resume_after_rollback(resumed);
+      if (peer->inc_ == new_inc) peer->resume_after_rollback(*rec_sp);
     }
     if (inc_ == new_inc && pending_fault_recovery_) {
       pending_fault_recovery_ = false;

@@ -109,7 +109,7 @@ class Hc3iAgent : public proto::AgentBase {
   bool is_stale(const net::Envelope& env) const;
   void drain_wait_queue();
   void handle_clc_demand(const ClcDemand& m);
-  void send_demand(ClusterId from, SeqNum sn, const std::vector<SeqNum>& ddv);
+  void send_demand(ClusterId from, SeqNum sn, const net::SmallDdv& ddv);
 
   // -- logging / acks (paper §3.3)
   void handle_inter_ack(const InterAck& m);

@@ -9,8 +9,8 @@
 
 #include <cstdint>
 #include <memory>
-#include <vector>
 
+#include "net/small_ddv.hpp"
 #include "util/ids.hpp"
 #include "util/time.hpp"
 
@@ -33,8 +33,9 @@ struct Piggyback {
   /// Sender cluster's incarnation at send time (bumped on rollback).
   Incarnation incarnation{0};
   /// Optional full DDV (transitive-dependency extension, paper §7);
-  /// empty when the extension is off.
-  std::vector<SeqNum> ddv;
+  /// empty when the extension is off.  Small-buffer-optimised: copying an
+  /// envelope never allocates (see small_ddv.hpp).
+  SmallDdv ddv;
 
   /// Modelled wire size of the piggyback area.
   std::uint64_t wire_bytes() const {

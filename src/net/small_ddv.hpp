@@ -1,0 +1,182 @@
+#pragma once
+
+// Small-buffer-optimised DDV carried in the message piggyback.
+//
+// The paper's federations are small — 2 or 3 clusters in every experiment
+// (§5) — so the transitive-DDV extension piggybacks 2-3 SeqNums on each
+// inter-cluster message.  Storing them in a std::vector made the DDV the
+// last per-message heap allocation on the send path, and copying an
+// Envelope (sender log, channel capture, wait queues, re-sends) re-paid it
+// every time.  SmallDdv keeps up to kInlineEntries entries inline; larger
+// federations spill to a refcounted immutable block, so copies are always
+// allocation-free (inline memcpy or refcount bump) and senders in the same
+// (cluster, SN) epoch can share one spilled block (see
+// Hc3iRuntime::shared_piggy_ddv).
+//
+// The spill pointer shares storage with the inline buffer (a union keyed on
+// size_), so SmallDdv is no larger than the std::vector it replaces, and
+// the refcount is a plain integer — the simulator is single-threaded, and
+// an atomic would put a lock prefix on every envelope copy for nothing.
+//
+// Entries are immutable after construction — a piggyback is a snapshot of
+// the sender's DDV at send time — which is what makes sharing safe.
+
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace hc3i::net {
+
+/// An immutable, small-buffer-optimised sequence of DDV entries.
+class SmallDdv {
+ public:
+  /// Inline capacity: covers the federations the paper evaluates (2-3
+  /// clusters) with headroom; beyond this the entries live in a shared
+  /// refcounted block.
+  static constexpr std::size_t kInlineEntries = 4;
+
+  SmallDdv() : inline_{} {}
+  SmallDdv(std::initializer_list<SeqNum> init)
+      : SmallDdv(init.begin(), init.size()) {}
+  explicit SmallDdv(const std::vector<SeqNum>& v)
+      : SmallDdv(v.data(), v.size()) {}
+  SmallDdv(const SeqNum* data, std::size_t n) : inline_{} {
+    init_members(data, n);
+  }
+
+  SmallDdv(const SmallDdv& o) : size_(o.size_) {
+    if (spilled()) {
+      spill_ = o.spill_;
+      ++spill_->refs;
+    } else {
+      std::memcpy(inline_, o.inline_, sizeof(inline_));
+    }
+  }
+
+  SmallDdv(SmallDdv&& o) noexcept : size_(o.size_) {
+    if (spilled()) {
+      spill_ = o.spill_;
+      o.size_ = 0;
+    } else {
+      std::memcpy(inline_, o.inline_, sizeof(inline_));
+    }
+  }
+
+  SmallDdv& operator=(const SmallDdv& o) {
+    if (this != &o) {
+      SmallDdv tmp(o);
+      swap(tmp);
+    }
+    return *this;
+  }
+
+  SmallDdv& operator=(SmallDdv&& o) noexcept {
+    if (this != &o) {
+      release();
+      size_ = o.size_;
+      if (spilled()) {
+        spill_ = o.spill_;
+        o.size_ = 0;
+      } else {
+        std::memcpy(inline_, o.inline_, sizeof(inline_));
+      }
+    }
+    return *this;
+  }
+
+  SmallDdv& operator=(std::initializer_list<SeqNum> init) {
+    release();
+    init_members(init.begin(), init.size());
+    return *this;
+  }
+
+  ~SmallDdv() { release(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const SeqNum* data() const { return spilled() ? spill_->data() : inline_; }
+  const SeqNum* begin() const { return data(); }
+  const SeqNum* end() const { return data() + size_; }
+  SeqNum operator[](std::size_t i) const { return data()[i]; }
+
+  /// True when the entries live in the shared spill block (tests).
+  bool spilled() const { return size_ > kInlineEntries; }
+
+  /// True when two spilled instances share one block (tests; always false
+  /// for inline instances, which have nothing to share).
+  bool shares_storage_with(const SmallDdv& o) const {
+    return spilled() && o.spilled() && spill_ == o.spill_;
+  }
+
+  std::vector<SeqNum> to_vector() const {
+    return std::vector<SeqNum>(begin(), end());
+  }
+
+  friend bool operator==(const SmallDdv& a, const SmallDdv& b) {
+    if (a.size_ != b.size_) return false;
+    if (a.spilled() && a.spill_ == b.spill_) return true;
+    return std::memcmp(a.data(), b.data(), a.size_ * sizeof(SeqNum)) == 0;
+  }
+
+ private:
+  /// Header of a heap spill block; the entries follow it in the same
+  /// allocation (4-byte aligned either side, so `this + 1` is the array).
+  struct Spill {
+    std::uint32_t refs;
+    static_assert(alignof(SeqNum) <= alignof(std::uint32_t),
+                  "spill layout places the entry array right after the "
+                  "header; a wider SeqNum needs explicit padding here");
+    SeqNum* data() { return reinterpret_cast<SeqNum*>(this + 1); }
+    const SeqNum* data() const {
+      return reinterpret_cast<const SeqNum*>(this + 1);
+    }
+  };
+
+  void init_members(const SeqNum* data, std::size_t n) {
+    size_ = static_cast<std::uint32_t>(n);
+    if (n <= kInlineEntries) {
+      std::memset(inline_, 0, sizeof(inline_));
+      if (n > 0) std::memcpy(inline_, data, n * sizeof(SeqNum));
+      return;
+    }
+    auto* block = static_cast<Spill*>(
+        ::operator new(sizeof(Spill) + n * sizeof(SeqNum)));
+    block->refs = 1;
+    std::memcpy(block->data(), data, n * sizeof(SeqNum));
+    spill_ = block;
+  }
+
+  void release() {
+    if (spilled() && --spill_->refs == 0) {
+      ::operator delete(spill_);
+    }
+    size_ = 0;
+  }
+
+  void swap(SmallDdv& o) noexcept {
+    // Byte-wise member swap: both representations are trivially movable
+    // (the union holds either a POD array or a pointer).
+    SmallDdv* a = this;
+    SmallDdv* b = &o;
+    std::uint32_t ts = a->size_;
+    a->size_ = b->size_;
+    b->size_ = ts;
+    unsigned char buf[sizeof(inline_)];
+    std::memcpy(buf, a->inline_, sizeof(inline_));
+    std::memcpy(a->inline_, b->inline_, sizeof(inline_));
+    std::memcpy(b->inline_, buf, sizeof(inline_));
+  }
+
+  std::uint32_t size_{0};
+  union {
+    SeqNum inline_[kInlineEntries];  ///< active while size_ <= kInlineEntries
+    Spill* spill_;                   ///< active while size_ >  kInlineEntries
+  };
+};
+
+}  // namespace hc3i::net

@@ -62,12 +62,23 @@ net::Envelope AgentBase::make_local_control(
   return env;
 }
 
+void AgentBase::deliver_control_locally(
+    std::uint64_t bytes, std::shared_ptr<const net::ControlPayload> payload) {
+  // The envelope is built inside the event rather than captured: the event
+  // fires at the same instant it is scheduled (zero delay), so sent_at is
+  // identical, and the capture stays small enough for the queue's inline
+  // callable storage (payload pointer + size instead of a whole Envelope).
+  ctx_.sim->schedule_after(
+      SimTime::zero(), [this, bytes, payload = std::move(payload)]() mutable {
+        on_message(make_local_control(bytes, std::move(payload)));
+      });
+}
+
 void AgentBase::send_control_or_local(
     NodeId dst, std::uint64_t bytes,
     std::shared_ptr<const net::ControlPayload> payload) {
   if (dst == self()) {
-    const net::Envelope env = make_local_control(bytes, std::move(payload));
-    ctx_.sim->schedule_after(SimTime::zero(), [this, env] { on_message(env); });
+    deliver_control_locally(bytes, std::move(payload));
     return;
   }
   send_control(dst, bytes, std::move(payload));
@@ -76,13 +87,15 @@ void AgentBase::send_control_or_local(
 void AgentBase::broadcast_control(
     ClusterId cluster_id, std::uint64_t bytes,
     std::shared_ptr<const net::ControlPayload> payload, bool include_self) {
-  for (const NodeId n : ctx_.topology->nodes_of(cluster_id)) {
+  // Iterate the dense node range directly — a broadcast runs for every CLC
+  // round and GC/alert relay, and building a nodes_of() vector per call was
+  // a needless per-broadcast allocation.
+  const NodeId base = ctx_.topology->first_node(cluster_id);
+  const std::uint32_t size = ctx_.topology->cluster_size(cluster_id);
+  for (std::uint32_t i = 0; i < size; ++i) {
+    const NodeId n{base.v + i};
     if (n == self()) {
-      if (include_self) {
-        const net::Envelope env = make_local_control(bytes, payload);
-        ctx_.sim->schedule_after(SimTime::zero(),
-                                 [this, env] { on_message(env); });
-      }
+      if (include_self) deliver_control_locally(bytes, payload);
       continue;
     }
     send_control(n, bytes, payload);

@@ -76,6 +76,9 @@ class AgentBase : public ProtocolAgent {
   net::Envelope make_local_control(
       std::uint64_t bytes,
       std::shared_ptr<const net::ControlPayload> payload) const;
+  /// Schedule `payload` for immediate local processing through on_message.
+  void deliver_control_locally(
+      std::uint64_t bytes, std::shared_ptr<const net::ControlPayload> payload);
 };
 
 }  // namespace hc3i::proto

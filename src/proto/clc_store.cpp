@@ -69,7 +69,7 @@ std::uint64_t ClcStore::storage_bytes() const {
     for (const auto& p : r.parts) {
       rec_bytes += p.app.state_bytes;
       rec_bytes += p.dedup.size() * sizeof(std::uint64_t);
-      for (const auto& e : p.log) rec_bytes += e.env.wire_bytes();
+      for (const auto& e : p.log.entries()) rec_bytes += e.env.wire_bytes();
     }
     for (const auto& ch : r.channel) rec_bytes += ch.wire_bytes();
     total += rec_bytes * (1 + replication_);

@@ -26,7 +26,8 @@ namespace hc3i::proto {
 struct NodePart {
   AppSnapshot app;                        ///< process state
   std::vector<std::uint64_t> dedup;       ///< delivered inter-cluster app_seqs
-  std::vector<LogEntry> log;              ///< sender log at capture
+  LogImage log;                           ///< sender log at capture (shared
+                                          ///< copy-on-write snapshot)
 };
 
 /// One committed cluster-level checkpoint.

@@ -6,23 +6,37 @@
 
 namespace hc3i::proto {
 
+void MsgLog::detach() {
+  // use_count > 1 means a captured LogImage (or a log restored from one)
+  // still references the buffer; clone before mutating so the image stays
+  // frozen at its capture state.  Single-threaded use_count is exact.
+  if (entries_.use_count() > 1) {
+    entries_ = std::make_shared<std::vector<LogEntry>>(*entries_);
+  }
+}
+
 void MsgLog::add(const net::Envelope& env) {
   HC3I_CHECK(!env.intra_cluster(), "MsgLog: only inter-cluster messages are logged");
-  HC3I_CHECK(entries_.empty() || entries_.back().env.id.v < env.id.v,
+  HC3I_CHECK(entries_->empty() || entries_->back().env.id.v < env.id.v,
              "MsgLog: sends must arrive in MsgId order");
-  entries_.push_back(LogEntry{env, false, 0, 0});
+  detach();
+  entries_->push_back(LogEntry{env, false, 0, 0});
   ++unacked_;
 }
 
 void MsgLog::record_ack(MsgId id, SeqNum ack_sn, Incarnation ack_inc) {
+  // Locate first; an unknown id must not pay the copy-on-write barrier.
   const auto it = std::lower_bound(
-      entries_.begin(), entries_.end(), id,
+      entries_->begin(), entries_->end(), id,
       [](const LogEntry& e, MsgId target) { return e.env.id.v < target.v; });
-  if (it == entries_.end() || !(it->env.id == id)) return;
-  if (!it->acked) --unacked_;
-  it->acked = true;
-  it->ack_sn = ack_sn;
-  it->ack_inc = ack_inc;
+  if (it == entries_->end() || !(it->env.id == id)) return;
+  const std::size_t idx = static_cast<std::size_t>(it - entries_->begin());
+  detach();
+  LogEntry& e = (*entries_)[idx];
+  if (!e.acked) --unacked_;
+  e.acked = true;
+  e.ack_sn = ack_sn;
+  e.ack_inc = ack_inc;
 }
 
 std::vector<net::Envelope> MsgLog::take_resends(ClusterId dst,
@@ -39,11 +53,14 @@ std::vector<net::Envelope> MsgLog::take_resends(ClusterId dst,
     // epoch strictly before the restored checkpoint.
     return e.ack_sn >= restored_sn;
   };
-  for (const auto& e : entries_) {
+  for (const auto& e : *entries_) {
     if (needs_resend(e)) out.push_back(e.env);
   }
-  entries_.erase(std::remove_if(entries_.begin(), entries_.end(), needs_resend),
-                 entries_.end());
+  if (out.empty()) return out;
+  detach();
+  entries_->erase(
+      std::remove_if(entries_->begin(), entries_->end(), needs_resend),
+      entries_->end());
   recount_unacked();
   return out;
 }
@@ -52,32 +69,47 @@ std::size_t MsgLog::truncate_from(SeqNum restored_sn) {
   const auto undone = [&](const LogEntry& e) {
     return e.env.piggy.sn >= restored_sn;
   };
-  const std::size_t before = entries_.size();
-  entries_.erase(std::remove_if(entries_.begin(), entries_.end(), undone),
-                 entries_.end());
+  const std::size_t before = entries_->size();
+  if (std::none_of(entries_->begin(), entries_->end(), undone)) return 0;
+  detach();
+  entries_->erase(std::remove_if(entries_->begin(), entries_->end(), undone),
+                  entries_->end());
   recount_unacked();
-  return before - entries_.size();
+  return before - entries_->size();
 }
 
 std::size_t MsgLog::prune(ClusterId dst, SeqNum min_sn) {
   const auto stable = [&](const LogEntry& e) {
     return e.env.dst_cluster == dst && e.acked && e.ack_sn < min_sn;
   };
-  const std::size_t before = entries_.size();
-  entries_.erase(std::remove_if(entries_.begin(), entries_.end(), stable),
-                 entries_.end());
+  const std::size_t before = entries_->size();
+  if (std::none_of(entries_->begin(), entries_->end(), stable)) return 0;
+  detach();
+  entries_->erase(std::remove_if(entries_->begin(), entries_->end(), stable),
+                  entries_->end());
   // Pruned entries were all acked, so unacked_ is unchanged.
-  return before - entries_.size();
+  return before - entries_->size();
+}
+
+void MsgLog::restore(const LogImage& image) {
+  if (image.data_ != nullptr) {
+    // Adopt the shared buffer; detach() protects the image (and any other
+    // adopter) if this log mutates later.
+    entries_ = std::const_pointer_cast<std::vector<LogEntry>>(image.data_);
+  } else {
+    entries_ = std::make_shared<std::vector<LogEntry>>();
+  }
+  recount_unacked();
 }
 
 void MsgLog::recount_unacked() {
   unacked_ = 0;
-  for (const auto& e : entries_) unacked_ += e.acked ? 0 : 1;
+  for (const auto& e : *entries_) unacked_ += e.acked ? 0 : 1;
 }
 
 std::uint64_t MsgLog::bytes() const {
   std::uint64_t total = 0;
-  for (const auto& e : entries_) {
+  for (const auto& e : *entries_) {
     total += e.env.wire_bytes() + sizeof(SeqNum) + sizeof(Incarnation);
   }
   return total;

@@ -13,6 +13,7 @@
 // pre-rollback incarnation with ack SN >= restored_sn.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "net/message.hpp"
@@ -26,6 +27,39 @@ struct LogEntry {
   bool acked{false};
   SeqNum ack_sn{0};           ///< receiver cluster's SN at delivery
   Incarnation ack_inc{0};     ///< receiver cluster's incarnation at delivery
+};
+
+/// An immutable shared snapshot of a sender log, captured at CLC time.
+///
+/// Capturing is O(1): the image shares the log's backing storage, and the
+/// live MsgLog copies that storage lazily before its next mutation
+/// (copy-on-write).  A node whose log did not change between two CLCs —
+/// the common case for the many nodes that never send inter-cluster —
+/// therefore pays nothing per checkpoint, and copying an image (phase-1
+/// acks carry one per node per round) is a refcount bump, not a deep copy.
+class LogImage {
+ public:
+  LogImage() = default;
+
+  /// The captured entries (empty for a default-constructed image).
+  const std::vector<LogEntry>& entries() const {
+    static const std::vector<LogEntry> kEmpty;
+    return data_ ? *data_ : kEmpty;
+  }
+  std::size_t size() const { return data_ ? data_->size() : 0; }
+
+  /// True when two images share one backing buffer (tests assert the
+  /// capture-twice-without-mutation case stays shared).
+  bool shares_storage_with(const LogImage& o) const {
+    return data_ != nullptr && data_ == o.data_;
+  }
+
+ private:
+  friend class MsgLog;
+  explicit LogImage(std::shared_ptr<const std::vector<LogEntry>> d)
+      : data_(std::move(d)) {}
+
+  std::shared_ptr<const std::vector<LogEntry>> data_;
 };
 
 /// A node's volatile log of its own inter-cluster sends.
@@ -56,7 +90,7 @@ class MsgLog {
   std::size_t prune(ClusterId dst, SeqNum min_sn);
 
   /// Number of live entries.
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return entries_->size(); }
   /// Entries whose acknowledgement has not arrived yet (messages whose
   /// delivery is still unconfirmed — the paper's §5.4 "logged messages"
   /// high-water counts these).  Maintained incrementally: the high-water
@@ -65,22 +99,31 @@ class MsgLog {
   /// Modelled bytes held by the log.
   std::uint64_t bytes() const;
   /// Read-only view (tests, checkpoint capture).
-  const std::vector<LogEntry>& entries() const { return entries_; }
-  /// Replace the whole log (restoring a failed node from its checkpointed
-  /// log copy — DESIGN.md §3 refinement).
-  void restore(std::vector<LogEntry> entries) {
-    entries_ = std::move(entries);
-    recount_unacked();
-  }
+  const std::vector<LogEntry>& entries() const { return *entries_; }
+  /// Capture the log as a shared immutable image — O(1); the live log
+  /// detaches (copies) lazily before its next mutation.
+  LogImage capture() const { return LogImage{entries_}; }
+  /// Replace the whole log from a captured image (restoring a failed node
+  /// from its checkpointed log copy — DESIGN.md §3 refinement).  Adopts the
+  /// image's storage without copying; a later mutation detaches first.
+  void restore(const LogImage& image);
 
  private:
   void recount_unacked();
+  /// Copy-on-write barrier: clone the backing storage iff it is shared
+  /// with a captured image (or another log restored from one).
+  void detach();
 
   // Entries are appended as messages are sent, and every (re-)send gets a
   // fresh, globally increasing MsgId from the network — so entries_ is
   // always sorted by env.id and record_ack() can binary-search instead of
   // scanning.
-  std::vector<LogEntry> entries_;
+  //
+  // The vector lives behind a shared_ptr so capture() can freeze it by
+  // sharing; every mutator calls detach() first, which clones only while a
+  // capture is alive.  entries_ is never null.
+  std::shared_ptr<std::vector<LogEntry>> entries_ =
+      std::make_shared<std::vector<LogEntry>>();
   std::size_t unacked_{0};
 };
 

@@ -23,9 +23,9 @@
 // removal keeps the heap at the size of the genuinely pending set.
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "util/check.hpp"
 #include "util/time.hpp"
 
@@ -42,7 +42,13 @@ struct EventId {
 /// The pending-event set.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Inline capacity for event callables.  Sized for the largest capture the
+  /// simulator schedules (a `this` pointer plus a shared_ptr plus a couple
+  /// of scalars); callables that would not fit fail to compile rather than
+  /// silently falling back to the heap (see inline_fn.hpp).
+  static constexpr std::size_t kCallbackCapacity = 48;
+
+  using Callback = InlineFn<kCallbackCapacity>;
 
   /// Schedule `cb` at absolute time `t`. Events at equal times fire in
   /// scheduling order. Returns an id usable with cancel().

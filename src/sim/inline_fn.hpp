@@ -1,0 +1,125 @@
+#pragma once
+
+// Fixed-capacity inline callable for the event queue.
+//
+// Every simulated event used to be stored as a std::function<void()>: one
+// type-erased heap allocation per scheduled event whenever the callable
+// outgrew libstdc++'s small-object buffer, plus an indirect dispatch through
+// the std::function machinery.  The simulator schedules tens of millions of
+// events per run, so that was the last per-event allocation on the hot path.
+//
+// InlineFn stores the callable in an in-object buffer, full stop: there is
+// no heap fallback.  A callable that does not fit is a compile error (the
+// static_asserts below), which keeps the no-allocation property enforced at
+// build time rather than decaying silently as captures grow.  Call sites
+// with genuinely large state capture a shared_ptr to it instead (see
+// Hc3iAgent::rollback_cluster) — the allocation then belongs to the cold
+// path that created the state, not to the event queue.
+//
+// Dispatch is one indirect call through a per-type operations table (the
+// same cost as a virtual call); move and destroy are likewise table-driven
+// so the event-queue slab can recycle slots holding arbitrary callables.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hc3i::sim {
+
+/// A move-only `void()` callable with inline-only storage.
+template <std::size_t Capacity, std::size_t Alignment = alignof(std::max_align_t)>
+class InlineFn {
+ public:
+  static constexpr std::size_t kCapacity = Capacity;
+
+  InlineFn() = default;
+  InlineFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineFn> &&
+                !std::is_same_v<std::remove_cvref_t<F>, std::nullptr_t>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fn&>, "InlineFn: not callable");
+    static_assert(sizeof(Fn) <= Capacity,
+                  "InlineFn: callable exceeds the inline capacity — shrink "
+                  "the capture (e.g. capture a shared_ptr to large state) or "
+                  "raise the queue's capacity constant");
+    static_assert(alignof(Fn) <= Alignment,
+                  "InlineFn: callable is over-aligned for the inline buffer");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "InlineFn: callable must be nothrow-movable (the event "
+                  "slab relocates callables when slots are recycled)");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    ops_ = ops_for<Fn>();
+  }
+
+  InlineFn(InlineFn&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      if (o.ops_ != nullptr) {
+        ops_ = o.ops_;
+        ops_->relocate(buf_, o.buf_);
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFn& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-construct the callable at `dst` from `src`, destroying `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  static const Ops* ops_for() {
+    static constexpr Ops ops{
+        [](void* self) { (*static_cast<Fn*>(self))(); },
+        [](void* dst, void* src) {
+          Fn* f = static_cast<Fn*>(src);
+          ::new (dst) Fn(std::move(*f));
+          f->~Fn();
+        },
+        [](void* self) { static_cast<Fn*>(self)->~Fn(); },
+    };
+    return &ops;
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_{nullptr};
+  alignas(Alignment) std::byte buf_[Capacity];
+};
+
+}  // namespace hc3i::sim

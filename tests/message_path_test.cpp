@@ -1,0 +1,376 @@
+// Tests for the zero-allocation message path: the small-buffer-optimised
+// piggyback DDV (spill/unspill boundaries, shared spill blocks), the
+// per-(cluster, SN)-epoch piggyback cache, the inline event callable, and
+// the copy-on-write sender-log capture.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "config/presets.hpp"
+#include "hc3i/runtime.hpp"
+#include "net/small_ddv.hpp"
+#include "proto/msg_log.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/inline_fn.hpp"
+
+namespace hc3i {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SmallDdv — spill/unspill boundaries
+// ---------------------------------------------------------------------------
+
+TEST(SmallDdv, DefaultIsEmptyInline) {
+  const net::SmallDdv d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_FALSE(d.spilled());
+}
+
+TEST(SmallDdv, InlineUpToCapacity) {
+  // Every size up to the inline capacity stays inline and round-trips.
+  for (std::size_t n = 0; n <= net::SmallDdv::kInlineEntries; ++n) {
+    std::vector<SeqNum> v;
+    for (std::size_t i = 0; i < n; ++i) v.push_back(static_cast<SeqNum>(i + 10));
+    const net::SmallDdv d(v);
+    EXPECT_FALSE(d.spilled()) << "size " << n;
+    ASSERT_EQ(d.size(), n);
+    EXPECT_EQ(d.to_vector(), v);
+  }
+}
+
+TEST(SmallDdv, SpillsOnePastCapacity) {
+  std::vector<SeqNum> v(net::SmallDdv::kInlineEntries + 1);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<SeqNum>(i);
+  const net::SmallDdv d(v);
+  EXPECT_TRUE(d.spilled());
+  EXPECT_EQ(d.to_vector(), v);
+}
+
+TEST(SmallDdv, CopySharesSpillBlock) {
+  const net::SmallDdv a({1, 2, 3, 4, 5, 6, 7});
+  ASSERT_TRUE(a.spilled());
+  const net::SmallDdv b = a;
+  EXPECT_TRUE(b.shares_storage_with(a));
+  EXPECT_EQ(a, b);
+}
+
+TEST(SmallDdv, InlineCopiesDoNotShare) {
+  const net::SmallDdv a({1, 2, 3});
+  const net::SmallDdv b = a;
+  EXPECT_FALSE(b.shares_storage_with(a));
+  EXPECT_EQ(a, b);
+}
+
+TEST(SmallDdv, MoveStealsSpillBlock) {
+  net::SmallDdv a({9, 8, 7, 6, 5, 4});
+  const net::SmallDdv keep = a;  // second ref keeps the block alive
+  const net::SmallDdv b = std::move(a);
+  EXPECT_TRUE(b.shares_storage_with(keep));
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): asserted state
+  EXPECT_EQ(b.to_vector(), keep.to_vector());
+}
+
+TEST(SmallDdv, UnspillViaReassignment) {
+  // Shrinking a spilled instance back below the inline boundary releases
+  // the block (the shared copy keeps its view) and goes inline again.
+  net::SmallDdv d({1, 2, 3, 4, 5});
+  const net::SmallDdv shared = d;
+  d = {42, 43};
+  EXPECT_FALSE(d.spilled());
+  EXPECT_EQ(d.to_vector(), (std::vector<SeqNum>{42, 43}));
+  EXPECT_EQ(shared.to_vector(), (std::vector<SeqNum>{1, 2, 3, 4, 5}));
+}
+
+TEST(SmallDdv, CopyAssignOverSpilledReleasesBlock) {
+  net::SmallDdv d({1, 2, 3, 4, 5, 6});
+  const net::SmallDdv small({7});
+  d = small;
+  EXPECT_FALSE(d.spilled());
+  EXPECT_EQ(d.to_vector(), std::vector<SeqNum>{7});
+}
+
+TEST(SmallDdv, EqualityComparesValues) {
+  EXPECT_EQ(net::SmallDdv({1, 2}), net::SmallDdv({1, 2}));
+  EXPECT_FALSE(net::SmallDdv({1, 2}) == net::SmallDdv({1, 3}));
+  EXPECT_FALSE(net::SmallDdv({1, 2}) == net::SmallDdv({1, 2, 3}));
+  // Same values in two independently built spill blocks still compare equal.
+  EXPECT_EQ(net::SmallDdv({1, 2, 3, 4, 5}), net::SmallDdv({1, 2, 3, 4, 5}));
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-cached shared piggyback (Hc3iRuntime::shared_piggy_ddv)
+// ---------------------------------------------------------------------------
+
+TEST(PiggyEpochCache, RebuildsOnlyOnEpochAdvance) {
+  const config::RunSpec spec = config::small_test_spec(3, 2);
+  core::Hc3iRuntime rt(spec, core::Hc3iOptions{});
+  proto::Ddv ddv(3, ClusterId{0}, 1);
+  ddv.raise(ClusterId{1}, 4);
+
+  const net::SmallDdv& first = rt.shared_piggy_ddv(ClusterId{0}, 1, 0, ddv);
+  EXPECT_EQ(rt.piggy_rebuilds(), 1u);
+  EXPECT_EQ(first.to_vector(), ddv.values());
+
+  // Same (SN, incarnation) epoch: served from the cache, not rebuilt.
+  rt.shared_piggy_ddv(ClusterId{0}, 1, 0, ddv);
+  rt.shared_piggy_ddv(ClusterId{0}, 1, 0, ddv);
+  EXPECT_EQ(rt.piggy_rebuilds(), 1u);
+
+  // SN advance (a CLC commit) invalidates.
+  proto::Ddv ddv2 = ddv;
+  ddv2.set(ClusterId{0}, 2);
+  const net::SmallDdv& second = rt.shared_piggy_ddv(ClusterId{0}, 2, 0, ddv2);
+  EXPECT_EQ(rt.piggy_rebuilds(), 2u);
+  EXPECT_EQ(second.to_vector(), ddv2.values());
+
+  // Incarnation advance (a rollback) invalidates too.
+  rt.shared_piggy_ddv(ClusterId{0}, 2, 1, ddv2);
+  EXPECT_EQ(rt.piggy_rebuilds(), 3u);
+}
+
+TEST(PiggyEpochCache, CommitWaveAlternationStaysCached) {
+  // While a ClcCommit propagates, senders on the new epoch interleave with
+  // senders still on the previous one; both epochs stay cached side by
+  // side, so the alternation rebuilds nothing.
+  const config::RunSpec spec = config::small_test_spec(3, 2);
+  core::Hc3iRuntime rt(spec, core::Hc3iOptions{});
+  proto::Ddv old_ddv(3, ClusterId{0}, 1);
+  proto::Ddv new_ddv(3, ClusterId{0}, 2);
+  rt.shared_piggy_ddv(ClusterId{0}, 1, 0, old_ddv);
+  rt.shared_piggy_ddv(ClusterId{0}, 2, 0, new_ddv);
+  EXPECT_EQ(rt.piggy_rebuilds(), 2u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(rt.shared_piggy_ddv(ClusterId{0}, 1, 0, old_ddv).to_vector(),
+              old_ddv.values());
+    EXPECT_EQ(rt.shared_piggy_ddv(ClusterId{0}, 2, 0, new_ddv).to_vector(),
+              new_ddv.values());
+  }
+  EXPECT_EQ(rt.piggy_rebuilds(), 2u);
+}
+
+TEST(PiggyEpochCache, ClustersAreIndependent) {
+  const config::RunSpec spec = config::small_test_spec(3, 2);
+  core::Hc3iRuntime rt(spec, core::Hc3iOptions{});
+  const proto::Ddv d0(3, ClusterId{0}, 5);
+  const proto::Ddv d1(3, ClusterId{1}, 9);
+  rt.shared_piggy_ddv(ClusterId{0}, 5, 0, d0);
+  rt.shared_piggy_ddv(ClusterId{1}, 9, 0, d1);
+  EXPECT_EQ(rt.piggy_rebuilds(), 2u);
+  // Neither cluster's cache evicts the other's.
+  EXPECT_EQ(rt.shared_piggy_ddv(ClusterId{0}, 5, 0, d0).to_vector(),
+            d0.values());
+  EXPECT_EQ(rt.shared_piggy_ddv(ClusterId{1}, 9, 0, d1).to_vector(),
+            d1.values());
+  EXPECT_EQ(rt.piggy_rebuilds(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// InlineFn — the event queue's inline callable
+// ---------------------------------------------------------------------------
+
+TEST(InlineFn, InvokesAndReportsEngagement) {
+  int calls = 0;
+  sim::InlineFn<48> f([&calls] { ++calls; });
+  EXPECT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFn, DefaultAndNullptrAreEmpty) {
+  sim::InlineFn<48> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  f = [] {};
+  EXPECT_TRUE(static_cast<bool>(f));
+  f = nullptr;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFn, MoveTransfersOwnershipAndState) {
+  auto counter = std::make_shared<int>(0);
+  sim::InlineFn<48> a([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  sim::InlineFn<48> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(counter.use_count(), 2);   // moved, not copied
+  b();
+  EXPECT_EQ(*counter, 1);
+}
+
+TEST(InlineFn, DestroysCaptureOnResetAndDestruction) {
+  auto token = std::make_shared<int>(7);
+  {
+    sim::InlineFn<48> f([token] {});
+    EXPECT_EQ(token.use_count(), 2);
+    f = nullptr;  // reset destroys the captured shared_ptr
+    EXPECT_EQ(token.use_count(), 1);
+    f = [token] {};
+    EXPECT_EQ(token.use_count(), 2);
+  }  // destructor destroys it too
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineFn, MoveAssignDestroysPreviousCallable) {
+  auto old_token = std::make_shared<int>(1);
+  auto new_token = std::make_shared<int>(2);
+  sim::InlineFn<48> f([old_token] {});
+  f = sim::InlineFn<48>([new_token] {});
+  EXPECT_EQ(old_token.use_count(), 1);
+  EXPECT_EQ(new_token.use_count(), 2);
+}
+
+TEST(InlineFn, AcceptsCallableAtExactCapacity) {
+  // A capture of exactly kCallbackCapacity bytes must compile and run —
+  // the static_assert boundary is inclusive.  (One byte more is a compile
+  // error, which a build can't test for; the capacity constant is asserted
+  // here so growth is a deliberate decision.)
+  struct Fat {
+    unsigned char bytes[sim::EventQueue::kCallbackCapacity - sizeof(void*)];
+  };
+  Fat fat{};
+  fat.bytes[0] = 42;
+  int seen = 0;
+  auto lambda = [fat, &seen]() mutable { seen = fat.bytes[0]; };
+  static_assert(sizeof(lambda) == sim::EventQueue::kCallbackCapacity,
+                "the capture below is meant to fill the buffer exactly");
+  sim::EventQueue::Callback cb(lambda);
+  cb();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(InlineFn, EventQueueCancelDestroysInlineCallable) {
+  auto token = std::make_shared<int>(0);
+  sim::EventQueue q;
+  const sim::EventId id = q.schedule(SimTime{10}, [token] {});
+  EXPECT_EQ(token.use_count(), 2);
+  q.cancel(id);
+  EXPECT_EQ(token.use_count(), 1);  // slot released its callable eagerly
+  EXPECT_TRUE(q.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write sender-log capture
+// ---------------------------------------------------------------------------
+
+net::Envelope inter_env(std::uint64_t msg_id, SeqNum piggy_sn) {
+  net::Envelope env;
+  env.id = MsgId{msg_id};
+  env.src = NodeId{0};
+  env.dst = NodeId{100};
+  env.src_cluster = ClusterId{0};
+  env.dst_cluster = ClusterId{1};
+  env.payload_bytes = 100;
+  env.piggy.sn = piggy_sn;
+  env.app_seq = msg_id;
+  return env;
+}
+
+/// Field-by-field equality of a captured image against a deep copy — the
+/// "byte-compared parts" contract: a COW capture must be indistinguishable
+/// from the eager deep copy it replaced.
+void expect_entries_equal(const std::vector<proto::LogEntry>& a,
+                          const std::vector<proto::LogEntry>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].env.id, b[i].env.id);
+    EXPECT_EQ(a[i].env.app_seq, b[i].env.app_seq);
+    EXPECT_EQ(a[i].env.piggy.sn, b[i].env.piggy.sn);
+    EXPECT_EQ(a[i].env.piggy.incarnation, b[i].env.piggy.incarnation);
+    EXPECT_EQ(a[i].env.piggy.ddv, b[i].env.piggy.ddv);
+    EXPECT_EQ(a[i].env.payload_bytes, b[i].env.payload_bytes);
+    EXPECT_EQ(a[i].acked, b[i].acked);
+    EXPECT_EQ(a[i].ack_sn, b[i].ack_sn);
+    EXPECT_EQ(a[i].ack_inc, b[i].ack_inc);
+  }
+}
+
+TEST(CowLogCapture, ImageEqualsDeepCopy) {
+  proto::MsgLog log;
+  log.add(inter_env(1, 1));
+  log.add(inter_env(2, 1));
+  log.record_ack(MsgId{1}, 2, 0);
+  const std::vector<proto::LogEntry> deep = log.entries();  // eager copy
+  const proto::LogImage image = log.capture();
+  expect_entries_equal(image.entries(), deep);
+}
+
+TEST(CowLogCapture, RepeatedCaptureWithoutMutationShares) {
+  proto::MsgLog log;
+  log.add(inter_env(1, 1));
+  const proto::LogImage a = log.capture();
+  const proto::LogImage b = log.capture();
+  EXPECT_TRUE(a.shares_storage_with(b));
+}
+
+TEST(CowLogCapture, ImageIsFrozenAtCaptureState) {
+  proto::MsgLog log;
+  log.add(inter_env(1, 1));
+  log.add(inter_env(2, 2));
+  const std::vector<proto::LogEntry> at_capture = log.entries();
+  const proto::LogImage image = log.capture();
+
+  // Every mutator runs after the capture; the image must not move.
+  log.add(inter_env(3, 2));
+  log.record_ack(MsgId{1}, 5, 0);
+  log.truncate_from(2);
+
+  expect_entries_equal(image.entries(), at_capture);
+  EXPECT_EQ(image.size(), 2u);
+  EXPECT_FALSE(image.entries()[0].acked);
+}
+
+TEST(CowLogCapture, CaptureAfterMutationNoLongerShares) {
+  proto::MsgLog log;
+  log.add(inter_env(1, 1));
+  const proto::LogImage before = log.capture();
+  log.record_ack(MsgId{1}, 3, 0);
+  const proto::LogImage after = log.capture();
+  EXPECT_FALSE(before.shares_storage_with(after));
+  EXPECT_FALSE(before.entries()[0].acked);
+  EXPECT_TRUE(after.entries()[0].acked);
+}
+
+TEST(CowLogCapture, RestoreAdoptsImageAndStaysIsolated) {
+  proto::MsgLog log;
+  log.add(inter_env(1, 1));
+  log.add(inter_env(2, 1));
+  const proto::LogImage image = log.capture();
+
+  proto::MsgLog recovered;
+  recovered.restore(image);
+  EXPECT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(recovered.unacked_count(), 2u);
+
+  // The restored log shares the image's buffer until it mutates; mutating
+  // it must corrupt neither the image nor the original log.
+  recovered.record_ack(MsgId{1}, 4, 0);
+  EXPECT_EQ(recovered.unacked_count(), 1u);
+  EXPECT_FALSE(image.entries()[0].acked);
+  EXPECT_FALSE(log.entries()[0].acked);
+}
+
+TEST(CowLogCapture, RestoreFromEmptyImageClears) {
+  proto::MsgLog log;
+  log.add(inter_env(1, 1));
+  log.restore(proto::LogImage{});
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.unacked_count(), 0u);
+}
+
+TEST(CowLogCapture, NoOpMutatorsDoNotDetach) {
+  // A prune/truncate that removes nothing must not pay the copy — captures
+  // taken before and after still share storage.
+  proto::MsgLog log;
+  log.add(inter_env(1, 5));
+  const proto::LogImage before = log.capture();
+  EXPECT_EQ(log.prune(ClusterId{1}, 99), 0u);   // nothing acked yet
+  EXPECT_EQ(log.truncate_from(99), 0u);         // nothing at/after SN 99
+  const proto::LogImage after = log.capture();
+  EXPECT_TRUE(before.shares_storage_with(after));
+}
+
+}  // namespace
+}  // namespace hc3i

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Documentation checks: relative-link resolution plus light markdown lint.
+
+Run from anywhere inside the repo:
+
+    python3 tools/check_docs.py
+
+Checks every tracked-looking *.md file (build trees and hidden dirs are
+skipped) for:
+
+  * relative links and images that do not resolve to an existing file or
+    directory (anchors are stripped; absolute URLs are ignored),
+  * unbalanced fenced code blocks,
+  * duplicate top-level titles (more than one leading `# ` heading).
+
+Exit status is non-zero when any check fails, so CI can gate on it.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {"build", ".git", ".github", "node_modules"}
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def repo_root() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(here)
+
+
+def md_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames if d not in SKIP_DIRS and not d.startswith(".")
+        ]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def strip_code_spans(line: str) -> str:
+    # Links inside inline code (`[i]` of an array, say) are not links.
+    return re.sub(r"`[^`]*`", "", line)
+
+
+def check_file(path: str, root: str):
+    errors = []
+    fence_count = 0
+    h1_count = 0
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        lines = f.readlines()
+    for lineno, line in enumerate(lines, start=1):
+        if line.lstrip().startswith("```"):
+            fence_count += 1
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        if line.startswith("# "):
+            h1_count += 1
+        for match in LINK_RE.finditer(strip_code_spans(line)):
+            target = match.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                continue
+            if target.startswith("#"):  # same-file anchor
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target)
+            )
+            if not os.path.exists(resolved):
+                errors.append(
+                    f"{os.path.relpath(path, root)}:{lineno}: broken link "
+                    f"'{match.group(1)}' (no such file: "
+                    f"{os.path.relpath(resolved, root)})"
+                )
+    if fence_count % 2 != 0:
+        errors.append(
+            f"{os.path.relpath(path, root)}: unbalanced ``` code fences"
+        )
+    if h1_count > 1:
+        errors.append(
+            f"{os.path.relpath(path, root)}: {h1_count} top-level '# ' "
+            "headings (expected at most one)"
+        )
+    return errors
+
+
+def main() -> int:
+    root = repo_root()
+    all_errors = []
+    checked = 0
+    for path in md_files(root):
+        checked += 1
+        all_errors.extend(check_file(path, root))
+    for err in all_errors:
+        print(f"error: {err}", file=sys.stderr)
+    print(f"check_docs: {checked} markdown files, {len(all_errors)} errors")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
