@@ -14,6 +14,14 @@
 //   whole_sim — an end-to-end run of the paper's §5 reference scenario via
 //               driver::run_simulation, the macro number the ROADMAP perf
 //               trajectory tracks.
+//   scale_fed — the scale-out regime: 10 clusters x 100 nodes of ring
+//               traffic with CLC timers and GC enabled
+//               (config::scale_federation_spec), run at 5 and at 10
+//               clusters so the heap-bytes growth between the two is a
+//               first-class number.  The census, GC payloads, and control
+//               plane are required to keep that growth sub-quadratic in
+//               the cluster count (docs/scaling.md): doubling the clusters
+//               must report a heap-growth factor well under 4.
 //
 // Each kernel also reports an allocations-per-op proxy: the bench overrides
 // global operator new/delete with counting shims, so the steady-state heap
@@ -39,9 +47,14 @@
 
 namespace {
 std::uint64_t g_allocs = 0;
+std::uint64_t g_alloc_bytes = 0;  ///< cumulative requested bytes — the
+                                  ///< peak-RSS growth proxy for the
+                                  ///< scale_fed sweep (deterministic, unlike
+                                  ///< getrusage across kernels)
 
 void* counted_alloc(std::size_t n) {
   ++g_allocs;
+  g_alloc_bytes += n;
   void* p = std::malloc(n != 0 ? n : 1);
   if (p == nullptr) throw std::bad_alloc{};
   return p;
@@ -49,6 +62,7 @@ void* counted_alloc(std::size_t n) {
 
 void* counted_alloc(std::size_t n, std::align_val_t align) {
   ++g_allocs;
+  g_alloc_bytes += n;
   void* p = nullptr;
   if (posix_memalign(&p, static_cast<std::size_t>(align), n != 0 ? n : 1) != 0) {
     throw std::bad_alloc{};
@@ -61,10 +75,12 @@ void* operator new(std::size_t n) { return counted_alloc(n); }
 void* operator new[](std::size_t n) { return counted_alloc(n); }
 void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
   ++g_allocs;
+  g_alloc_bytes += n;
   return std::malloc(n != 0 ? n : 1);
 }
 void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
   ++g_allocs;
+  g_alloc_bytes += n;
   return std::malloc(n != 0 ? n : 1);
 }
 void* operator new(std::size_t n, std::align_val_t a) { return counted_alloc(n, a); }
@@ -110,6 +126,7 @@ struct KernelResult {
   std::uint64_t ops{0};
   double elapsed_sec{0.0};
   std::uint64_t allocs{0};  ///< operator-new calls during the timed region
+  std::uint64_t alloc_bytes{0};  ///< bytes requested during the timed region
   double rate() const { return elapsed_sec > 0 ? ops / elapsed_sec : 0.0; }
   double allocs_per_op() const {
     return ops > 0 ? static_cast<double>(allocs) / static_cast<double>(ops)
@@ -224,9 +241,28 @@ KernelResult bench_whole_sim(std::uint64_t seed) {
   opts.seed = seed;
   const double t0 = now_sec();
   const std::uint64_t allocs0 = g_allocs;
+  const std::uint64_t bytes0 = g_alloc_bytes;
   const auto result = driver::run_simulation(opts);
   const double elapsed = now_sec() - t0;
-  return KernelResult{result.events_executed, elapsed, g_allocs - allocs0};
+  return KernelResult{result.events_executed, elapsed, g_allocs - allocs0,
+                      g_alloc_bytes - bytes0};
+}
+
+/// The scale-out kernel: `clusters` clusters x 100 nodes of ring traffic
+/// with CLC timers and GC enabled, 10 simulated minutes.  Run at two
+/// cluster counts so the heap growth between them (the peak-RSS proxy) is
+/// measured, not assumed.
+KernelResult bench_scale_fed(std::uint64_t seed, std::size_t clusters) {
+  driver::RunOptions opts;
+  opts.spec = config::scale_federation_spec(clusters, 100, minutes(10));
+  opts.seed = seed;
+  const double t0 = now_sec();
+  const std::uint64_t allocs0 = g_allocs;
+  const std::uint64_t bytes0 = g_alloc_bytes;
+  const auto result = driver::run_simulation(opts);
+  const double elapsed = now_sec() - t0;
+  return KernelResult{result.events_executed, elapsed, g_allocs - allocs0,
+                      g_alloc_bytes - bytes0};
 }
 
 void dump_counters() {
@@ -264,18 +300,29 @@ int main(int argc, char** argv) {
   const auto event_ops = static_cast<std::uint64_t>(4'000'000 * scale);
   const auto msg_ops = static_cast<std::uint64_t>(400'000 * scale);
 
-  KernelResult events, msgs, msgs_ddv, whole;
+  KernelResult events, msgs, msgs_ddv, whole, scale_half, scale_full;
   const auto fold = [](KernelResult& acc, const KernelResult& r) {
     acc.ops += r.ops;
     acc.elapsed_sec += r.elapsed_sec;
     acc.allocs += r.allocs;
+    acc.alloc_bytes += r.alloc_bytes;
   };
   for (std::uint64_t s = 1; s <= seeds; ++s) {
     fold(events, bench_events(event_ops, s));
     fold(msgs, bench_msgs(msg_ops, s, /*with_ddv=*/false));
     fold(msgs_ddv, bench_msgs(msg_ops, s, /*with_ddv=*/true));
     fold(whole, bench_whole_sim(s));
+    fold(scale_half, bench_scale_fed(s, 5));
+    fold(scale_full, bench_scale_fed(s, 10));
   }
+  // 5 -> 10 clusters doubles the federation; linear cost doubles the heap
+  // traffic, a clusters² term quadruples it.  This ratio is the scale
+  // acceptance number (must stay well under 4).
+  const double heap_growth =
+      scale_half.alloc_bytes > 0
+          ? static_cast<double>(scale_full.alloc_bytes) /
+                static_cast<double>(scale_half.alloc_bytes)
+          : 0.0;
 
   std::printf("events    : %12.0f events/sec  (%.4f allocs/op)\n",
               events.rate(), events.allocs_per_op());
@@ -285,6 +332,11 @@ int main(int argc, char** argv) {
               msgs_ddv.rate(), msgs_ddv.allocs_per_op());
   std::printf("whole_sim : %12.0f events/sec  (%.4f allocs/event)\n",
               whole.rate(), whole.allocs_per_op());
+  std::printf("scale_fed : %12.0f events/sec  (%.4f allocs/event, "
+              "10x100 nodes)\n",
+              scale_full.rate(), scale_full.allocs_per_op());
+  std::printf("scale heap: %12.2fx bytes going 5 -> 10 clusters "
+              "(sub-quadratic < 4)\n", heap_growth);
   std::printf("peak RSS  : %ld KB\n", peak_rss_kb());
 
   std::FILE* f = std::fopen(out.c_str(), "w");
@@ -308,19 +360,27 @@ int main(int argc, char** argv) {
                "  \"msgs_per_sec\": %.1f,\n"
                "  \"msgs_ddv_per_sec\": %.1f,\n"
                "  \"whole_sim_events_per_sec\": %.1f,\n"
+               "  \"scale_fed_events_per_sec\": %.1f,\n"
                "  \"msgs_allocs_per_op\": %.6f,\n"
                "  \"msgs_ddv_allocs_per_op\": %.6f,\n"
                "  \"events_allocs_per_op\": %.6f,\n"
+               "  \"scale_fed_heap_bytes_5c\": %llu,\n"
+               "  \"scale_fed_heap_bytes_10c\": %llu,\n"
+               "  \"scale_fed_heap_growth\": %.4f,\n"
                "  \"peak_rss_kb\": %ld,\n"
                "  \"kernels\": {\n",
                static_cast<unsigned long long>(seeds), events.rate(),
-               msgs.rate(), msgs_ddv.rate(), whole.rate(),
+               msgs.rate(), msgs_ddv.rate(), whole.rate(), scale_full.rate(),
                msgs.allocs_per_op(), msgs_ddv.allocs_per_op(),
-               events.allocs_per_op(), peak_rss_kb());
+               events.allocs_per_op(),
+               static_cast<unsigned long long>(scale_half.alloc_bytes),
+               static_cast<unsigned long long>(scale_full.alloc_bytes),
+               heap_growth, peak_rss_kb());
   kernel_json("events", events, ",");
   kernel_json("msgs", msgs, ",");
   kernel_json("msgs_ddv", msgs_ddv, ",");
-  kernel_json("whole_sim", whole, "");
+  kernel_json("whole_sim", whole, ",");
+  kernel_json("scale_fed", scale_full, "");
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out.c_str());

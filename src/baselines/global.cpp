@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "proto/payload_pool.hpp"
 #include "util/log.hpp"
 
 namespace hc3i::baselines {
@@ -100,7 +101,7 @@ void GlobalAgent::begin_round() {
   round_started_ = now();
   parts_.assign(ctx_.topology->node_count(), std::nullopt);
   acks_received_ = 0;
-  auto req = std::make_shared<GReq>();
+  auto req = proto::make_pooled<GReq>();
   req->round = round_;
   req->inc = inc_;
   if (rt_.hierarchical()) {
@@ -125,7 +126,7 @@ void GlobalAgent::handle_req(const GReq& m) {
     cluster_round_ = m.round;
     cluster_parts_.assign(ctx_.topology->cluster_size(cluster()), std::nullopt);
     cluster_acks_ = 0;
-    auto req = std::make_shared<GReq>();
+    auto req = proto::make_pooled<GReq>();
     req->round = m.round;
     req->inc = inc_;
     broadcast_control(cluster(), kCtl, std::move(req), /*include_self=*/false);
@@ -138,7 +139,7 @@ void GlobalAgent::take_tentative(std::uint64_t round) {
   in_round_ = true;
   round_ = round;
   tentative_ = make_part();
-  auto ack = std::make_shared<GAck>();
+  auto ack = proto::make_pooled<GAck>();
   ack->round = round;
   ack->inc = inc_;
   ack->node = self();
@@ -159,7 +160,7 @@ void GlobalAgent::handle_ack(const GAck& m) {
     if (cluster_parts_[idx].has_value()) return;
     cluster_parts_[idx] = m.part;
     if (++cluster_acks_ < cluster_parts_.size()) return;
-    auto cack = std::make_shared<GClusterAck>();
+    auto cack = proto::make_pooled<GClusterAck>();
     cack->round = cluster_round_;
     cack->inc = inc_;
     cack->cluster = cluster();
@@ -228,7 +229,7 @@ void GlobalAgent::commit_round() {
   named_summary(stat_freeze_, "global.freeze_s")
       .add((now() - round_started_).seconds());
   round_active_ = false;
-  auto commit = std::make_shared<GCommit>();
+  auto commit = proto::make_pooled<GCommit>();
   commit->round = round_;
   commit->inc = inc_;
   commit->sn = new_sn;
@@ -250,7 +251,7 @@ void GlobalAgent::handle_commit(const GCommit& m) {
   if (rt_.hierarchical() && is_cluster_coordinator() && m.round == cluster_round_) {
     // Relay the commit into the cluster once.
     cluster_round_ = 0;
-    broadcast_control(cluster(), kCtl, std::make_shared<GCommit>(m),
+    broadcast_control(cluster(), kCtl, proto::make_pooled<GCommit>(m),
                       /*include_self=*/false);
   }
   if (!in_round_ || m.round != round_) return;

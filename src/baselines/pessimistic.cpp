@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "proto/payload_pool.hpp"
 #include "util/log.hpp"
 
 namespace hc3i::baselines {
@@ -51,7 +52,7 @@ void PessimisticAgent::take_checkpoint() {
   if (ctx_.topology->cluster_size(cluster()) > 1) {
     send_control(ctx_.topology->ring_neighbour(self()),
                  rt_.spec().application.state_bytes,
-                 std::make_shared<LogCopy>());
+                 proto::make_pooled<LogCopy>());
   }
 }
 
@@ -84,7 +85,7 @@ void PessimisticAgent::on_message(const net::Envelope& env) {
   // costs a full extra transfer (the MPICH-V overhead).
   if (ctx_.topology->cluster_size(cluster()) > 1) {
     send_control(ctx_.topology->ring_neighbour(self()), env.payload_bytes,
-                 std::make_shared<LogCopy>());
+                 proto::make_pooled<LogCopy>());
     named_stat(stat_log_copies_, "pess.log_copies").inc();
   }
 }

@@ -143,4 +143,43 @@ RunSpec small_test_spec(std::size_t clusters, std::uint32_t nodes) {
   return spec;
 }
 
+RunSpec scale_federation_spec(std::size_t clusters, std::uint32_t nodes,
+                              SimTime total) {
+  RunSpec spec;
+  auto& topo = spec.topology;
+  topo.clusters.assign(clusters, ClusterSpec{nodes, myrinet_like()});
+  topo.inter.assign(clusters, std::vector<LinkSpec>(clusters));
+  for (std::size_t i = 0; i < clusters; ++i) {
+    for (std::size_t j = 0; j < clusters; ++j) {
+      if (i != j) topo.inter[i][j] = ethernet_like();
+    }
+  }
+  topo.mtbf = SimTime::infinity();
+
+  auto& app = spec.application;
+  app.total_time = total;
+  app.state_bytes = 64 * 1024;
+  app.clusters.resize(clusters);
+  for (std::size_t i = 0; i < clusters; ++i) {
+    auto& c = app.clusters[i];
+    c.mean_compute = seconds(20);
+    c.message_bytes = 4 * 1024;
+    // Ring communication: the active (src, dst) pair set is 3 per cluster,
+    // not clusters — the shape real code couplings have at scale, and the
+    // regime the sparse pair census is built for.
+    c.traffic.assign(clusters, 0.0);
+    c.traffic[i] = 0.9;
+    if (clusters > 1) {
+      c.traffic[(i + 1) % clusters] += 0.05;
+      c.traffic[(i + clusters - 1) % clusters] += 0.05;
+    }
+  }
+
+  auto& timers = spec.timers;
+  timers.clusters.assign(clusters, ClusterTimerSpec{minutes(5)});
+  timers.gc_period = minutes(10);
+  timers.detection_delay = milliseconds(50);
+  return spec;
+}
+
 }  // namespace hc3i::config

@@ -50,4 +50,17 @@ TimersSpec paper_three_cluster_timers(SimTime gc_period);
 /// Deterministically exercises every protocol path in seconds.
 RunSpec small_test_spec(std::size_t clusters = 2, std::uint32_t nodes = 4);
 
+/// Scale-out federation (beyond the paper's 2-3 clusters): `clusters`
+/// clusters x `nodes` nodes with Myrinet-like SANs and Ethernet-like
+/// interconnect.  Traffic is ring-structured — mostly intra-cluster plus a
+/// trickle to each ring neighbour — so active census pairs grow linearly
+/// with the cluster count while the control plane (CLC 2PC rounds, GC
+/// metadata exchange, DDV piggybacks) pays full federation-width costs.
+/// CLC timers and GC are enabled; failures are off (MTBF infinite).
+/// This is the 10x100 = 1000-node reference scenario of docs/scaling.md;
+/// `clusters` is the sweep axis.
+RunSpec scale_federation_spec(std::size_t clusters = 10,
+                              std::uint32_t nodes = 100,
+                              SimTime total = minutes(30));
+
 }  // namespace hc3i::config

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "proto/payload_pool.hpp"
 #include "util/log.hpp"
 
 namespace hc3i::core {
@@ -38,10 +39,11 @@ std::uint32_t Hc3iAgent::replicas_needed() const {
 proto::NodePart Hc3iAgent::make_part() const {
   proto::NodePart part;
   part.app = ctx_.app->snapshot();
-  part.dedup.assign(dedup_.begin(), dedup_.end());
-  // The hashed set iterates in an unspecified order; checkpoint parts are
-  // protocol state, so canonicalise for bit-reproducibility.
-  std::sort(part.dedup.begin(), part.dedup.end());
+  // Both captures are copy-on-write images: O(1) refcount bumps unless the
+  // underlying state changed since the previous checkpoint (DedupSet sorts
+  // once per mutation epoch — checkpoint parts are protocol state, so the
+  // canonical order is part of bit-reproducibility).
+  part.dedup = dedup_.capture();
   part.log = log_.capture();
   return part;
 }
@@ -227,11 +229,11 @@ bool Hc3iAgent::is_stale(const net::Envelope& env) const {
 }
 
 void Hc3iAgent::receive_inter_app(const net::Envelope& env) {
-  if (dedup_.count(env.app_seq) > 0) {
+  if (dedup_.contains(env.app_seq)) {
     // Duplicate of an already-delivered message (a re-send raced with the
     // original copy). Re-acknowledge so the sender's log entry settles.
     ctx_.registry->inc("cic.dup_dropped");
-    auto ack = std::make_shared<InterAck>();
+    auto ack = proto::make_pooled<InterAck>();
     ack->msg = env.id;
     ack->ack_sn = sn_;
     ack->ack_inc = inc_;
@@ -255,7 +257,7 @@ void Hc3iAgent::deliver_and_ack(const net::Envelope& env) {
   deliver_app(env);
   // "Inter-cluster messages are acknowledged with the local SN" at delivery
   // time (paper §4 figure note; +1 relative to the pre-forced-CLC value).
-  auto ack = std::make_shared<InterAck>();
+  auto ack = proto::make_pooled<InterAck>();
   ack->msg = env.id;
   ack->ack_sn = sn_;
   ack->ack_inc = inc_;
@@ -264,7 +266,7 @@ void Hc3iAgent::deliver_and_ack(const net::Envelope& env) {
 
 void Hc3iAgent::send_demand(ClusterId from, SeqNum sn,
                             const net::SmallDdv& observed_ddv) {
-  auto demand = std::make_shared<ClcDemand>();
+  auto demand = proto::make_pooled<ClcDemand>();
   demand->inc = inc_;
   demand->from_cluster = from;
   demand->observed_sn = sn;
@@ -285,7 +287,7 @@ void Hc3iAgent::drain_wait_queue() {
       continue;
     }
     if (!cic_should_force(env)) {
-      if (dedup_.count(env.app_seq) == 0) deliver_and_ack(env);
+      if (!dedup_.contains(env.app_seq)) deliver_and_ack(env);
     } else {
       still_waiting.push_back(env);
     }
@@ -335,7 +337,7 @@ void Hc3iAgent::coordinator_begin_round(RoundReason reason) {
   parts_.assign(ctx_.topology->cluster_size(cluster()), std::nullopt);
   acks_received_ = 0;
   round_ddv_merge_ = ddv_;
-  auto req = std::make_shared<ClcRequest>();
+  auto req = proto::make_pooled<ClcRequest>();
   req->round = active_round_id_;
   req->inc = inc_;
   HC3I_TRACE(kProtocol, now(),
@@ -358,7 +360,7 @@ void Hc3iAgent::handle_clc_request(const ClcRequest& m) {
     return;
   }
   for (std::uint32_t r = 1; r <= replicas_needed(); ++r) {
-    auto rs = std::make_shared<ReplicaStore>();
+    auto rs = proto::make_pooled<ReplicaStore>();
     rs->round = round_;
     rs->inc = inc_;
     rs->origin = self();
@@ -371,7 +373,7 @@ void Hc3iAgent::handle_clc_request(const ClcRequest& m) {
 void Hc3iAgent::handle_replica_store(const net::Envelope& env,
                                      const ReplicaStore& m) {
   if (m.inc != inc_) return;
-  auto ack = std::make_shared<ReplicaAck>();
+  auto ack = proto::make_pooled<ReplicaAck>();
   ack->round = m.round;
   ack->inc = inc_;
   send_control(env.src, ControlSizes::kSmall, std::move(ack));
@@ -383,7 +385,7 @@ void Hc3iAgent::handle_replica_ack(const ReplicaAck& m) {
 }
 
 void Hc3iAgent::send_phase1_ack() {
-  auto ack = std::make_shared<ClcAck>();
+  auto ack = proto::make_pooled<ClcAck>();
   ack->round = round_;
   ack->inc = inc_;
   ack->node = self();
@@ -466,7 +468,7 @@ void Hc3iAgent::coordinator_commit_round() {
                                    << " ddv=" << new_ddv.to_string());
 
   round_active_ = false;
-  auto commit = std::make_shared<ClcCommit>();
+  auto commit = proto::make_pooled<ClcCommit>();
   commit->round = active_round_id_;
   commit->inc = inc_;
   commit->sn = new_sn;
@@ -591,7 +593,7 @@ void Hc3iAgent::rollback_cluster(proto::ClcRecord rec_arg, bool fault_origin) {
   });
 
   // 7. Alert one node in every other cluster (paper §3.4).
-  auto alert = std::make_shared<RollbackAlert>();
+  auto alert = proto::make_pooled<RollbackAlert>();
   alert->faulty = c;
   alert->restored_sn = rec.sn;
   alert->new_inc = new_inc;
@@ -615,8 +617,7 @@ void Hc3iAgent::apply_cluster_rollback(const proto::ClcRecord& rec,
   sn_ = rec.sn;
   ddv_ = rec.ddv;
   inc_ = new_inc;
-  dedup_.clear();
-  dedup_.insert(rec.parts[idx].dedup.begin(), rec.parts[idx].dedup.end());
+  dedup_.restore(rec.parts[idx].dedup);
   if (lost_memory) {
     log_.restore(rec.parts[idx].log);
   } else {
@@ -668,7 +669,7 @@ void Hc3iAgent::handle_rollback_alert(const RollbackAlert& m) {
   // Relay intra-cluster so every node replays its logged messages
   // ("Even if its cluster does not need to rollback, a node receiving a
   // rollback alert broadcasts it in its cluster").
-  auto relay = std::make_shared<AlertRelay>();
+  auto relay = proto::make_pooled<AlertRelay>();
   relay->inc = inc_;
   relay->alert = m;
   broadcast_control(cluster(), ControlSizes::kSmall, std::move(relay),
@@ -702,7 +703,7 @@ void Hc3iAgent::on_gc_timer() {
   gc_responses_ = 0;
   ctx_.registry->inc("gc.rounds");
   HC3I_TRACE(kProtocol, now(), "GC round " << gc_round_ << " start");
-  auto req = std::make_shared<GcRequest>();
+  auto req = proto::make_pooled<GcRequest>();
   req->gc_round = gc_round_;
   for (std::size_t k = 0; k < rt_.cluster_count(); ++k) {
     send_control_or_local(
@@ -712,24 +713,33 @@ void Hc3iAgent::on_gc_timer() {
 }
 
 void Hc3iAgent::handle_gc_request(const net::Envelope& env, const GcRequest& m) {
-  auto resp = std::make_shared<GcResponse>();
+  auto resp = proto::make_pooled<GcResponse>();
   resp->gc_round = m.gc_round;
   resp->cluster = cluster();
+  std::vector<proto::ClcMeta> metas;
+  metas.reserve(store().size());
   for (const proto::ClcRecord& r : store().records()) {
-    resp->metas.push_back(proto::ClcMeta{r.sn, r.ddv});
+    metas.push_back(proto::ClcMeta{r.sn, r.ddv});
   }
   // The response carries the whole DDV list (paper §5.4 calls this out as
-  // the GC's main network cost).
-  const std::uint64_t bytes =
-      ControlSizes::kSmall + resp->metas.size() * rt_.cluster_count() *
-                                 ControlSizes::kPerDdvEntry;
+  // the GC's main network cost) — delta+varint compressed, and charged its
+  // real encoded size so the simulated GC cost matches what a wire
+  // implementation would pay.
+  resp->metas = proto::encode_clc_metas(metas);
+  const std::uint64_t flat = proto::uncompressed_clc_metas_bytes(
+      metas.size(), rt_.cluster_count(), ControlSizes::kPerDdvEntry);
+  const std::uint64_t bytes = ControlSizes::kSmall + resp->metas.wire_bytes();
+  if (flat > resp->metas.wire_bytes()) {
+    stat(stat_gc_resp_saved_, "gc.resp_bytes_saved")
+        .inc(flat - resp->metas.wire_bytes());
+  }
   send_control_or_local(env.src, bytes, std::move(resp));
 }
 
 void Hc3iAgent::handle_gc_response(const GcResponse& m) {
   if (!gc_active_ || m.gc_round != gc_round_) return;
   if (gc_metas_[m.cluster.v].has_value()) return;
-  gc_metas_[m.cluster.v] = m.metas;
+  gc_metas_[m.cluster.v] = proto::decode_clc_metas(m.metas);
   if (++gc_responses_ < rt_.cluster_count()) return;
 
   gc_active_ = false;
@@ -743,7 +753,7 @@ void Hc3iAgent::handle_gc_response(const GcResponse& m) {
   for (auto& m_opt : gc_metas_) metas.push_back(std::move(*m_opt));
   const std::vector<SeqNum> min_sns = proto::gc_min_restored_sns(metas);
 
-  auto collect = std::make_shared<GcCollect>();
+  auto collect = proto::make_pooled<GcCollect>();
   collect->gc_round = gc_round_;
   collect->min_sns = min_sns;
   const std::uint64_t bytes =
@@ -764,7 +774,7 @@ void Hc3iAgent::handle_gc_collect(const GcCollect& m) {
   stat(stat_gc_removed_, "gc.clcs_removed").inc(removed);
   HC3I_TRACE(kProtocol, now(), "C" << cluster().v << " GC prune: " << before
                                    << " -> " << after);
-  auto prune = std::make_shared<GcPrune>();
+  auto prune = proto::make_pooled<GcPrune>();
   prune->min_sns = m.min_sns;
   broadcast_control(cluster(),
                     ControlSizes::kSmall +

@@ -154,9 +154,9 @@ class Hc3iAgent : public proto::AgentBase {
  private:
   // Node-local protocol state.
   proto::MsgLog log_;
-  std::unordered_set<std::uint64_t> dedup_; ///< delivered inter app_seqs
-                                            ///< (hashed: checked per arrival;
-                                            ///< sorted only at capture)
+  proto::DedupSet dedup_;                   ///< delivered inter app_seqs
+                                            ///< (hashed membership; sorted
+                                            ///< shared image at capture)
   std::vector<net::Envelope> wait_force_;   ///< stashed, awaiting forced CLC
   std::vector<net::Envelope> deferred_;     ///< arrived during a 2PC round
   struct QueuedSend {
@@ -210,6 +210,7 @@ class Hc3iAgent : public proto::AgentBase {
   stats::Counter* stat_rollback_global_{nullptr};
   stats::Counter* stat_rollback_cascade_{nullptr};
   stats::Counter* stat_gc_removed_{nullptr};
+  stats::Counter* stat_gc_resp_saved_{nullptr};
   stats::Summary* stat_rollback_depth_{nullptr};
 
   // GC initiator state (coordinator of cluster 0 only).

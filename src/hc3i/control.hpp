@@ -15,6 +15,7 @@
 #include "net/message.hpp"
 #include "proto/clc_store.hpp"
 #include "proto/ddv.hpp"
+#include "proto/gc_wire.hpp"
 #include "proto/recovery_line.hpp"
 #include "util/ids.hpp"
 
@@ -127,13 +128,16 @@ struct GcRequest final : net::ControlPayload {
   std::uint64_t gc_round{0};
 };
 
-/// Reply: the cluster's retained checkpoint metadata (§3.5).
+/// Reply: the cluster's retained checkpoint metadata (§3.5), delta+varint
+/// compressed (proto/gc_wire.hpp) — the paper calls the DDV list out as the
+/// GC's main network cost, and uncompressed it grows with records x
+/// clusters along a scale-out sweep.
 struct GcResponse final : net::ControlPayload {
     static constexpr std::uint32_t kKind = 11;
     GcResponse() : ControlPayload(kKind) {}
   std::uint64_t gc_round{0};
   ClusterId cluster{};
-  std::vector<proto::ClcMeta> metas;
+  proto::EncodedClcMetas metas;
 };
 
 /// GC initiator -> one node per cluster: the smallest-SN vector; prune.

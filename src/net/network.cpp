@@ -14,8 +14,7 @@ Network::Network(sim::Simulation& sim, const Topology& topo,
       deliver_(topo.node_count()),
       up_(topo.node_count(), true),
       park_head_(topo.node_count(), kNil),
-      park_tail_(topo.node_count(), kNil),
-      pair_census_(topo.cluster_count() * topo.cluster_count(), nullptr) {}
+      park_tail_(topo.node_count(), kNil) {}
 
 void Network::attach(NodeId n, DeliverFn deliver) {
   HC3I_CHECK(n.v < deliver_.size(), "attach: bad node id");
@@ -35,12 +34,11 @@ void Network::count_send(const Envelope& env) {
   tc.msgs->inc();
   tc.bytes->inc(env.wire_bytes());
   if (app) {
-    // Per-cluster-pair census — this is Table 1 of the paper.  A dense
-    // matrix of pre-resolved handles; the name string is built once per
-    // pair per run, not once per message.
-    stats::Counter*& cell =
-        pair_census_[env.src_cluster.v * topo_.cluster_count() +
-                     env.dst_cluster.v];
+    // Per-cluster-pair census — this is Table 1 of the paper.  A sparse
+    // table of pre-resolved handles keyed by the pair actually touched
+    // (memory scales with active pairs, not clusters²); the name string is
+    // built once per pair per run, not once per message.
+    stats::Counter*& cell = pair_census_.slot(env.src_cluster, env.dst_cluster);
     if (!cell) {
       cell = &reg_.counter("net.app.pair." + std::to_string(env.src_cluster.v) +
                            "." + std::to_string(env.dst_cluster.v));

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "net/message.hpp"
+#include "net/pair_census.hpp"
 #include "net/topology.hpp"
 #include "sim/simulation.hpp"
 #include "stats/registry.hpp"
@@ -77,6 +78,13 @@ class Network {
   /// Total messages ever sent.
   std::uint64_t total_sent() const { return next_msg_id_; }
 
+  /// Distinct (src cluster, dst cluster) pairs that carried application
+  /// traffic — the census footprint (scales with active pairs, not
+  /// clusters²; see pair_census.hpp).
+  std::size_t census_active_pairs() const {
+    return pair_census_.active_pairs();
+  }
+
  private:
   static constexpr std::uint32_t kNil = 0xffffffffu;
 
@@ -117,8 +125,8 @@ class Network {
 
   // Census handles, resolved on first touch so a run's counter set (and its
   // dump) stays exactly what the traffic actually produced.
-  TrafficCounters traffic_[2][2];            ///< [is_app][is_intra]
-  std::vector<stats::Counter*> pair_census_; ///< clusters x clusters, row-major
+  TrafficCounters traffic_[2][2];  ///< [is_app][is_intra]
+  PairCensus pair_census_;         ///< sparse (src, dst) cluster-pair census
 };
 
 }  // namespace hc3i::net

@@ -1,0 +1,46 @@
+#include "net/pair_census.hpp"
+
+namespace hc3i::net {
+
+stats::Counter*& PairCensus::slot(ClusterId src, ClusterId dst) {
+  return find_or_claim(pack(src, dst))->counter;
+}
+
+PairCensus::Entry* PairCensus::find_or_claim(std::uint64_t key) {
+  if (table_.empty()) grow();
+  while (true) {
+    const std::size_t mask = table_.size() - 1;
+    std::size_t i = hash(key) & mask;
+    while (true) {
+      Entry& e = table_[i];
+      if (e.key == key) return &e;
+      if (e.key == kEmptyKey) {
+        // Claiming a new pair: grow first if that would breach the load
+        // bound, then re-probe — a hit on an existing pair never rehashes,
+        // which is what keeps previously returned references valid until
+        // the next unseen pair (the contract in pair_census.hpp).
+        if (size_ + 1 > (table_.size() * 7) / 10) break;
+        e.key = key;
+        ++size_;
+        return &e;
+      }
+      i = (i + 1) & mask;
+    }
+    grow();
+  }
+}
+
+void PairCensus::grow() {
+  const std::size_t cap = table_.empty() ? 16 : table_.size() * 2;
+  std::vector<Entry> old = std::move(table_);
+  table_.assign(cap, Entry{});
+  const std::size_t mask = cap - 1;
+  for (const Entry& e : old) {
+    if (e.key == kEmptyKey) continue;
+    std::size_t i = hash(e.key) & mask;
+    while (table_[i].key != kEmptyKey) i = (i + 1) & mask;
+    table_[i] = e;
+  }
+}
+
+}  // namespace hc3i::net

@@ -1,0 +1,75 @@
+#pragma once
+
+// Sparse per-cluster-pair traffic census.
+//
+// The Table-1 census used to be a dense clusters x clusters matrix of
+// counter handles, sized at construction.  That is O(clusters²) memory
+// regardless of traffic — harmless at the paper's 2-3 clusters, but the
+// wrong shape for scale-out federations where real applications touch a
+// sparse set of pairs (a 10-cluster ring workload has ~3 active pairs per
+// cluster, not 10).  PairCensus is an open-addressing hash table keyed by
+// the packed (src, dst) pair: memory and rehash cost scale with the pairs
+// that actually carried traffic, and the common case — the same pair as
+// the previous message — is a one-probe hit.
+//
+// The census only ever grows (counters are never removed), entries resolve
+// their stats::Counter lazily at first touch exactly like the dense matrix
+// did, so the registry dump stays byte-identical for any traffic pattern.
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/registry.hpp"
+#include "util/ids.hpp"
+
+namespace hc3i::net {
+
+/// Open-addressing map from (src cluster, dst cluster) to a lazily resolved
+/// counter handle.  Single-threaded, insert-only.
+class PairCensus {
+ public:
+  PairCensus() = default;
+
+  /// The counter slot for a pair, inserting an unresolved (nullptr) slot on
+  /// first touch.  The returned reference is valid until the next slot()
+  /// call with a previously unseen pair (growth rehashes); callers resolve
+  /// and bump immediately.
+  stats::Counter*& slot(ClusterId src, ClusterId dst);
+
+  /// Number of distinct pairs that have been touched.
+  std::size_t active_pairs() const { return size_; }
+
+  /// Current table capacity (tests assert growth is driven by active pairs,
+  /// not by the federation's cluster count).
+  std::size_t bucket_count() const { return table_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t key{kEmptyKey};
+    stats::Counter* counter{nullptr};
+  };
+
+  static constexpr std::uint64_t kEmptyKey = ~0ull;
+
+  static std::uint64_t pack(ClusterId src, ClusterId dst) {
+    return (static_cast<std::uint64_t>(src.v) << 32) | dst.v;
+  }
+  /// splitmix64 finaliser — cheap, and strong enough that linear probing
+  /// stays short at the 0.7 load bound.
+  static std::size_t hash(std::uint64_t key) {
+    key ^= key >> 30;
+    key *= 0xbf58476d1ce4e5b9ull;
+    key ^= key >> 27;
+    key *= 0x94d049bb133111ebull;
+    key ^= key >> 31;
+    return static_cast<std::size_t>(key);
+  }
+
+  Entry* find_or_claim(std::uint64_t key);
+  void grow();
+
+  std::vector<Entry> table_;  ///< power-of-two capacity, linear probing
+  std::size_t size_{0};
+};
+
+}  // namespace hc3i::net

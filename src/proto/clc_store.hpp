@@ -16,6 +16,7 @@
 
 #include "net/message.hpp"
 #include "proto/ddv.hpp"
+#include "proto/dedup_set.hpp"
 #include "proto/msg_log.hpp"
 #include "proto/snapshot.hpp"
 #include "util/time.hpp"
@@ -25,7 +26,8 @@ namespace hc3i::proto {
 /// Per-node content of a CLC.
 struct NodePart {
   AppSnapshot app;                        ///< process state
-  std::vector<std::uint64_t> dedup;       ///< delivered inter-cluster app_seqs
+  DedupImage dedup;                       ///< delivered inter-cluster app_seqs
+                                          ///< (shared copy-on-write snapshot)
   LogImage log;                           ///< sender log at capture (shared
                                           ///< copy-on-write snapshot)
 };

@@ -1,0 +1,137 @@
+#include "proto/gc_wire.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace hc3i::proto {
+
+namespace {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(const std::vector<std::uint8_t>& in,
+                         std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    HC3I_CHECK(pos < in.size(), "gc_wire: truncated varint");
+    HC3I_CHECK(shift < 64, "gc_wire: varint overflow");
+    const std::uint8_t b = in[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+/// Zigzag: small negative deltas stay small (DDV entries are expected to be
+/// non-decreasing across a cluster's retained records, but the codec does
+/// not bet correctness on it).
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace
+
+EncodedClcMetas encode_clc_metas(const std::vector<ClcMeta>& metas) {
+  EncodedClcMetas enc;
+  put_varint(enc.bytes, metas.size());
+  if (metas.empty()) return enc;
+
+  const std::size_t width = metas.front().ddv.size();
+  put_varint(enc.bytes, width);
+
+  // The previous record's view; the first record diffs against SN 0 and an
+  // all-zero DDV, so "all non-zero entries" falls out of the same code path.
+  SeqNum prev_sn = 0;
+  std::vector<SeqNum> prev(width, 0);
+  for (const ClcMeta& m : metas) {
+    HC3I_CHECK(m.ddv.size() == width, "gc_wire: ragged DDV widths");
+    HC3I_CHECK(m.sn >= prev_sn, "gc_wire: records must be SN-ordered");
+    put_varint(enc.bytes, m.sn - prev_sn);
+    prev_sn = m.sn;
+
+    const std::vector<SeqNum>& cur = m.ddv.values();
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < width; ++i) changed += cur[i] != prev[i];
+    put_varint(enc.bytes, changed);
+    std::size_t prev_idx = 0;  // one past the previous changed index
+    for (std::size_t i = 0; i < width; ++i) {
+      if (cur[i] == prev[i]) continue;
+      put_varint(enc.bytes, i - prev_idx);
+      put_varint(enc.bytes, zigzag(static_cast<std::int64_t>(cur[i]) -
+                                   static_cast<std::int64_t>(prev[i])));
+      prev_idx = i + 1;
+      prev[i] = cur[i];
+    }
+  }
+  return enc;
+}
+
+std::vector<ClcMeta> decode_clc_metas(const EncodedClcMetas& enc) {
+  std::size_t pos = 0;
+  const std::uint64_t count = get_varint(enc.bytes, pos);
+  std::vector<ClcMeta> metas;
+  if (count == 0) {
+    HC3I_CHECK(pos == enc.bytes.size(), "gc_wire: trailing bytes");
+    return metas;
+  }
+  const std::uint64_t width = get_varint(enc.bytes, pos);
+  HC3I_CHECK(width > 0, "gc_wire: zero DDV width");
+  // Bound both counts by the stream length before reserving: every record
+  // costs at least two bytes (sn delta + changed count) and every DDV entry
+  // at least one, so a crafted header cannot drive a huge allocation.
+  HC3I_CHECK(count <= enc.bytes.size() / 2, "gc_wire: implausible count");
+  HC3I_CHECK(width <= enc.bytes.size(), "gc_wire: implausible width");
+
+  metas.reserve(count);
+  SeqNum prev_sn = 0;
+  std::vector<SeqNum> prev(width, 0);
+  for (std::uint64_t r = 0; r < count; ++r) {
+    prev_sn += static_cast<SeqNum>(get_varint(enc.bytes, pos));
+    const std::uint64_t changed = get_varint(enc.bytes, pos);
+    HC3I_CHECK(changed <= width, "gc_wire: changed count exceeds width");
+    std::size_t idx = 0;  // one past the previous changed index
+    for (std::uint64_t k = 0; k < changed; ++k) {
+      idx += static_cast<std::size_t>(get_varint(enc.bytes, pos));
+      HC3I_CHECK(idx < width, "gc_wire: changed index out of range");
+      // Unsigned arithmetic: wraparound is defined, and any adversarial
+      // delta that under- or overflows the SeqNum range lands outside
+      // [0, max(SeqNum)] and is rejected — no signed-overflow UB window.
+      const std::uint64_t value =
+          static_cast<std::uint64_t>(prev[idx]) +
+          static_cast<std::uint64_t>(unzigzag(get_varint(enc.bytes, pos)));
+      HC3I_CHECK(value <= std::numeric_limits<SeqNum>::max(),
+                 "gc_wire: DDV entry out of range");
+      prev[idx] = static_cast<SeqNum>(value);
+      ++idx;
+    }
+    ClcMeta m;
+    m.sn = prev_sn;
+    m.ddv = Ddv(width, ClusterId{0}, 0);
+    for (std::size_t i = 0; i < width; ++i) {
+      m.ddv.set(ClusterId{static_cast<std::uint32_t>(i)}, prev[i]);
+    }
+    metas.push_back(std::move(m));
+  }
+  HC3I_CHECK(pos == enc.bytes.size(), "gc_wire: trailing bytes");
+  return metas;
+}
+
+std::uint64_t uncompressed_clc_metas_bytes(std::size_t records,
+                                           std::size_t ddv_width,
+                                           std::uint64_t per_entry_bytes) {
+  return static_cast<std::uint64_t>(records) * ddv_width * per_entry_bytes;
+}
+
+}  // namespace hc3i::proto

@@ -1,0 +1,62 @@
+#pragma once
+
+// Compressed wire form of the garbage-collection metadata exchange.
+//
+// The GC response carries "the list of all the DDVs associated with the
+// stored CLCs" (paper §3.5), and §5.4 calls that list out as the GC's main
+// network cost: uncompressed it is records x clusters entries, which grows
+// quadratically along a scale-out sweep (more clusters means both wider
+// DDVs and — under forced-CLC coupling — more retained records).
+//
+// Successive records of one cluster differ little: SNs increase by small
+// steps and most DDV entries are unchanged between consecutive CLCs (DDV
+// entries only move at forced commits, and only the entries of clusters
+// that actually communicated).  So the list is delta-encoded:
+//
+//   varint record_count, varint ddv_width,
+//   then per record:
+//     varint sn_delta          (vs the previous record; first is absolute)
+//     varint changed_count     (DDV entries that differ from the previous
+//                               record; the first record lists all non-zero
+//                               entries, diffed against an all-zero vector)
+//     per changed entry: varint index_gap (vs previous changed index + 1;
+//                        first is absolute), zigzag-varint value delta.
+//
+// The encoding is an actual byte stream, not a modelled size: the round
+// trip (encode -> decode == input) is unit-tested, and the envelope's
+// payload_bytes is the real encoded length, so the simulated network cost
+// of GC is exactly what a wire implementation would pay.
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/recovery_line.hpp"
+
+namespace hc3i::proto {
+
+/// A delta+varint encoded list of ClcMeta records.
+struct EncodedClcMetas {
+  std::vector<std::uint8_t> bytes;
+
+  /// Encoded length — the modelled (and actual) wire size.
+  std::uint64_t wire_bytes() const { return bytes.size(); }
+
+  bool operator==(const EncodedClcMetas&) const = default;
+};
+
+/// Encode a cluster's retained-CLC metadata (ascending-SN order, uniform
+/// DDV width — both HC3I invariants, checked).
+EncodedClcMetas encode_clc_metas(const std::vector<ClcMeta>& metas);
+
+/// Decode; throws CheckFailure on a malformed stream.  Inverse of
+/// encode_clc_metas for any valid input.
+std::vector<ClcMeta> decode_clc_metas(const EncodedClcMetas& enc);
+
+/// The uncompressed size model the response used to be charged:
+/// records x ddv_width x per-entry bytes.  Kept for the compression-ratio
+/// statistic ("gc.resp_bytes_saved").
+std::uint64_t uncompressed_clc_metas_bytes(std::size_t records,
+                                           std::size_t ddv_width,
+                                           std::uint64_t per_entry_bytes);
+
+}  // namespace hc3i::proto

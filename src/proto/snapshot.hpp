@@ -9,9 +9,9 @@
 // capture and restore one process.
 
 #include <cstdint>
-#include <vector>
 
 #include "net/message.hpp"
+#include "util/inline_vec.hpp"
 #include "util/time.hpp"
 
 namespace hc3i::proto {
@@ -25,8 +25,10 @@ struct AppSnapshot {
   /// Modelled state size in bytes.
   std::uint64_t state_bytes{0};
   /// Opaque application words (e.g. RNG state under the PWD assumption the
-  /// pessimistic-logging baseline needs; empty otherwise).
-  std::vector<std::uint64_t> opaque;
+  /// pessimistic-logging baseline needs; empty otherwise).  Inline storage:
+  /// snapshots are taken per node per CLC round and copied into acks and
+  /// committed records, and a heap vector here was one allocation per copy.
+  InlineVec<std::uint64_t, 4> opaque;
 };
 
 /// Per-process hooks the protocol layer drives. Implemented by the workload

@@ -1,0 +1,72 @@
+#pragma once
+
+// InlineVec — a fixed-capacity, inline-storage vector for tiny hot-path
+// payloads.
+//
+// AppSnapshot::opaque used to be a std::vector<std::uint64_t> holding zero
+// or one words; every snapshot() and every snapshot copy (parts travel in
+// phase-1 acks and committed records) paid a heap allocation for it.  The
+// simulator's snapshot-carried data is bounded and tiny by design, so the
+// storage lives in the object: copies are memcpy, and exceeding the
+// capacity is an invariant violation (HC3I_CHECK), not a silent heap
+// spill — the same no-fallback discipline as sim::InlineFn.
+
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+
+#include "util/check.hpp"
+
+namespace hc3i {
+
+/// Fixed-capacity vector with inline storage; T must be trivially copyable.
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec is for trivially copyable payload words");
+
+ public:
+  InlineVec() = default;
+  InlineVec(std::initializer_list<T> init) { assign(init); }
+  InlineVec& operator=(std::initializer_list<T> init) {
+    assign(init);
+    return *this;
+  }
+
+  void assign(std::initializer_list<T> init) {
+    HC3I_CHECK(init.size() <= N, "InlineVec: capacity exceeded");
+    size_ = 0;
+    for (const T& x : init) v_[size_++] = x;
+  }
+
+  void push_back(const T& x) {
+    HC3I_CHECK(size_ < N, "InlineVec: capacity exceeded");
+    v_[size_++] = x;
+  }
+
+  void clear() { size_ = 0; }
+
+  const T& operator[](std::size_t i) const { return v_[i]; }
+  T& operator[](std::size_t i) { return v_[i]; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  static constexpr std::size_t capacity() { return N; }
+
+  const T* begin() const { return v_; }
+  const T* end() const { return v_ + size_; }
+
+  friend bool operator==(const InlineVec& a, const InlineVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a.v_[i] == b.v_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  T v_[N]{};
+  std::size_t size_{0};
+};
+
+}  // namespace hc3i

@@ -5,18 +5,13 @@
 namespace hc3i {
 
 namespace {
-TraceLevel g_level = TraceLevel::kStats;
 TraceSink g_sink;  // empty => stderr
 }  // namespace
-
-TraceLevel Trace::level() { return g_level; }
-
-void Trace::set_level(TraceLevel lv) { g_level = lv; }
 
 void Trace::set_sink(TraceSink sink) { g_sink = std::move(sink); }
 
 void Trace::emit(TraceLevel lv, SimTime t, const std::string& line) {
-  if (g_level < lv) return;
+  if (level() < lv) return;
   const std::string full = "[" + to_string(t) + "] " + line;
   if (g_sink) {
     g_sink(full);

@@ -33,16 +33,26 @@ enum class TraceLevel : int {
 /// capturing sink.
 using TraceSink = std::function<void(const std::string& line)>;
 
+namespace detail {
+/// The active level, inline so the HC3I_TRACE guard compiles to a single
+/// load-and-compare at every call site instead of a cross-TU function call
+/// — protocol milestones sit on paths that run per CLC round, and the
+/// alloc-counter audit (docs/scaling.md) requires tracing-off to cost
+/// nothing measurable.  Written only through Trace::set_level.
+inline TraceLevel g_trace_level = TraceLevel::kStats;
+}  // namespace detail
+
 /// Global trace configuration.
 class Trace {
  public:
-  static TraceLevel level();
-  static void set_level(TraceLevel lv);
+  static TraceLevel level() { return detail::g_trace_level; }
+  static void set_level(TraceLevel lv) { detail::g_trace_level = lv; }
   /// Replace the output sink (empty function restores stderr).
   static void set_sink(TraceSink sink);
   /// Emit one line at the given level (no-op if below the active level).
   static void emit(TraceLevel lv, SimTime t, const std::string& line);
-  /// True if lines at `lv` are currently emitted (guards formatting cost).
+  /// True if lines at `lv` are currently emitted (guards formatting cost —
+  /// every HC3I_TRACE builds its string only behind this check).
   static bool enabled(TraceLevel lv) { return level() >= lv; }
 };
 
