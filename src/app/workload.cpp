@@ -116,42 +116,41 @@ Workload::Workload(sim::Simulation& sim, const net::Topology& topo,
   nodes_.reserve(topo.node_count());
   for (std::uint32_t i = 0; i < topo.node_count(); ++i) {
     const NodeId n{i};
-    nodes_.push_back(
-        std::make_unique<WorkloadNode>(*this, n, topo.cluster_of(n)));
+    nodes_.emplace_back(*this, n, topo.cluster_of(n));
   }
 }
 
 std::vector<proto::AppHandle*> Workload::handles() {
   std::vector<proto::AppHandle*> out;
   out.reserve(nodes_.size());
-  for (auto& n : nodes_) out.push_back(n.get());
+  for (auto& n : nodes_) out.push_back(&n);
   return out;
 }
 
 void Workload::bind_agents(
     const std::function<proto::ProtocolAgent*(NodeId)>& get) {
-  for (auto& n : nodes_) n->bind(get(n->id()));
+  for (auto& n : nodes_) n.bind(get(n.id()));
 }
 
 void Workload::start() {
-  for (auto& n : nodes_) n->start();
+  for (auto& n : nodes_) n.start();
 }
 
 std::uint64_t Workload::total_progress() const {
   std::uint64_t total = 0;
-  for (const auto& n : nodes_) total += n->progress();
+  for (const auto& n : nodes_) total += n.progress();
   return total;
 }
 
 std::uint64_t Workload::total_received() const {
   std::uint64_t total = 0;
-  for (const auto& n : nodes_) total += n->received();
+  for (const auto& n : nodes_) total += n.received();
   return total;
 }
 
 WorkloadNode& Workload::node(NodeId n) {
   HC3I_CHECK(n.v < nodes_.size(), "Workload::node: bad id");
-  return *nodes_[n.v];
+  return nodes_[n.v];
 }
 
 }  // namespace hc3i::app

@@ -120,7 +120,10 @@ class Workload {
   stats::Registry& registry_;
   ReplayMode mode_;
   SimTime horizon_;
-  std::vector<std::unique_ptr<WorkloadNode>> nodes_;
+  /// Nodes by value: reserved once in the constructor and never resized, so
+  /// the AppHandle pointers handed out by handles() stay stable and node
+  /// construction is one buffer, not one heap object per federation node.
+  std::vector<WorkloadNode> nodes_;
   stats::Counter* stat_sends_{nullptr};
   stats::Counter* stat_restores_{nullptr};
   stats::Counter* stat_delivered_{nullptr};

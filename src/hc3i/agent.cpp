@@ -16,7 +16,9 @@ Hc3iAgent::Hc3iAgent(const proto::AgentContext& ctx, Hc3iRuntime& rt)
     : AgentBase(ctx), rt_(rt),
       ddv_(rt.cluster_count(), ctx.cluster, 0),
       round_ddv_merge_(rt.cluster_count(), ctx.cluster, 0) {
-  known_rollbacks_.resize(rt_.cluster_count());
+  // known_rollbacks_ stays empty (size 0) until the first alert arrives:
+  // failure-free runs — and most nodes of any run — never pay its per-node
+  // per-cluster allocation.
 }
 
 std::string Hc3iAgent::cstat(const char* name) const {
@@ -144,9 +146,11 @@ void Hc3iAgent::do_send(NodeId dst, std::uint64_t bytes,
   piggy.incarnation = inc_;
   const bool inter = ctx_.topology->cluster_of(dst) != cluster();
   if (inter && rt_.options().transitive_ddv) {
-    // One shared representation per (SN, incarnation) epoch: the copy is an
-    // inline memcpy (or a refcount bump for spilled sizes), never a rebuild.
-    piggy.ddv = rt_.shared_piggy_ddv(cluster(), sn_, inc_, ddv_);
+    // The cluster's DDV is immutable within a (SN, incarnation) epoch, so
+    // assigning it is an inline memcpy (or a refcount bump once spilled);
+    // commits and rollbacks mutate through the COW barrier and never touch
+    // piggybacks already in flight.
+    piggy.ddv = ddv_;
   }
   const net::Envelope sent = send_app(dst, bytes, app_seq, piggy);
   if (inter) {
@@ -220,6 +224,7 @@ void Hc3iAgent::on_control_message(const net::Envelope& env) {
 bool Hc3iAgent::is_stale(const net::Envelope& env) const {
   // Stale iff the sender cluster rolled back after the message was sent and
   // the send belongs to an undone epoch (piggyback SN >= restored SN).
+  if (known_rollbacks_.empty()) return false;  // no alert ever received
   for (const RollbackInfo& rb : known_rollbacks_[env.src_cluster.v]) {
     if (env.piggy.incarnation < rb.inc && env.piggy.sn >= rb.restored) {
       return true;
@@ -265,13 +270,13 @@ void Hc3iAgent::deliver_and_ack(const net::Envelope& env) {
 }
 
 void Hc3iAgent::send_demand(ClusterId from, SeqNum sn,
-                            const net::SmallDdv& observed_ddv) {
+                            const proto::Ddv& observed_ddv) {
   auto demand = proto::make_pooled<ClcDemand>();
   demand->inc = inc_;
   demand->from_cluster = from;
   demand->observed_sn = sn;
   if (rt_.options().transitive_ddv) {
-    demand->observed_ddv.assign(observed_ddv.begin(), observed_ddv.end());
+    demand->observed_ddv = observed_ddv;
   }
   send_control_or_local(coordinator_of(cluster()),
                         ControlSizes::kSmall +
@@ -300,13 +305,10 @@ void Hc3iAgent::handle_clc_demand(const ClcDemand& m) {
   auto& slot = pending_raises_[m.from_cluster.v];
   slot = std::max(slot, m.observed_sn);
   if (rt_.options().transitive_ddv && !m.observed_ddv.empty()) {
-    proto::Ddv observed(rt_.cluster_count(), cluster(), 0);
-    for (std::size_t k = 0; k < m.observed_ddv.size(); ++k) {
-      observed.set(ClusterId{static_cast<std::uint32_t>(k)}, m.observed_ddv[k]);
-    }
+    proto::Ddv observed = m.observed_ddv;
     observed.set(cluster(), 0);  // never raise our own entry from a peer
     if (!pending_merge_) {
-      pending_merge_ = observed;
+      pending_merge_ = std::move(observed);
     } else {
       pending_merge_->merge_max(observed);
     }
@@ -633,6 +635,17 @@ void Hc3iAgent::apply_cluster_rollback(const proto::ClcRecord& rec,
   pending_raises_.clear();
   pending_merge_.reset();
   acks_received_ = 0;
+  // An incarnation bump mid-round aborts the round; no coordinator scratch
+  // from the undone epoch may survive it.  `parts_` holds tentative
+  // checkpoint images and `round_ddv_merge_` the DDV entries merged from
+  // its phase-1 acks — begin_round reinitialises both, and stale acks are
+  // filtered by (inc, round id), but clearing here releases the retained
+  // images immediately and makes "no stale merged entry can leak into a
+  // later round's committed DDV" hold by construction rather than by the
+  // interplay of three guards (regression: Rollback.FailureBetweenPhase1-
+  // AcksLeavesNoStaleDdv).
+  parts_.clear();
+  round_ddv_merge_ = ddv_;
   if (clc_timer_) clc_timer_->cancel();
   rollback_pending_ = true;
   ctx_.app->freeze();
@@ -651,6 +664,7 @@ void Hc3iAgent::handle_rollback_alert(const RollbackAlert& m) {
   HC3I_CHECK(m.faulty != cluster(), "alert from own cluster");
   if (!alerts_seen_.insert({m.faulty.v, m.new_inc}).second) return;
   ctx_.registry->inc("rollback.alerts");
+  if (known_rollbacks_.empty()) known_rollbacks_.resize(rt_.cluster_count());
   known_rollbacks_[m.faulty.v].push_back(
       RollbackInfo{m.new_inc, m.restored_sn});
 
@@ -679,6 +693,7 @@ void Hc3iAgent::handle_rollback_alert(const RollbackAlert& m) {
 void Hc3iAgent::handle_alert_relay(const AlertRelay& m) {
   // Replaying is safe regardless of our incarnation: surviving log entries
   // always describe sends that are part of our current state.
+  if (known_rollbacks_.empty()) known_rollbacks_.resize(rt_.cluster_count());
   known_rollbacks_[m.alert.faulty.v].push_back(
       RollbackInfo{m.alert.new_inc, m.alert.restored_sn});
   const std::vector<net::Envelope> resends =

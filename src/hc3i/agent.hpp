@@ -109,7 +109,7 @@ class Hc3iAgent : public proto::AgentBase {
   bool is_stale(const net::Envelope& env) const;
   void drain_wait_queue();
   void handle_clc_demand(const ClcDemand& m);
-  void send_demand(ClusterId from, SeqNum sn, const net::SmallDdv& ddv);
+  void send_demand(ClusterId from, SeqNum sn, const proto::Ddv& ddv);
 
   // -- logging / acks (paper §3.3)
   void handle_inter_ack(const InterAck& m);
@@ -179,7 +179,9 @@ class Hc3iAgent : public proto::AgentBase {
     Incarnation inc;
     SeqNum restored;
   };
-  std::vector<std::vector<RollbackInfo>> known_rollbacks_;  ///< [cluster]
+  std::vector<std::vector<RollbackInfo>> known_rollbacks_;  ///< [cluster];
+                                            ///< sized lazily at the first
+                                            ///< alert (empty = none known)
   std::set<std::pair<std::uint32_t, Incarnation>> alerts_seen_;
 
   // Coordinator round state.

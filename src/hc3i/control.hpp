@@ -90,8 +90,9 @@ struct ClcDemand final : net::ControlPayload {
   Incarnation inc{0};
   ClusterId from_cluster{};
   SeqNum observed_sn{0};
-  /// With the transitive extension (paper §7), the full piggybacked DDV.
-  std::vector<SeqNum> observed_ddv;
+  /// With the transitive extension (paper §7), the full piggybacked DDV
+  /// (copied from the envelope by refcount bump / inline memcpy).
+  proto::Ddv observed_ddv;
 };
 
 /// Receiver -> sender of an inter-cluster application message: delivery

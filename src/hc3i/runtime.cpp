@@ -12,7 +12,6 @@ Hc3iRuntime::Hc3iRuntime(const config::RunSpec& spec, Hc3iOptions opts)
   const std::size_t n = spec_.topology.cluster_count();
   incarnations_.assign(n, 0);
   agents_.resize(n);
-  piggy_cache_.resize(n);
   stores_.reserve(n);
   for (std::size_t c = 0; c < n; ++c) {
     const std::uint32_t nodes = spec_.topology.clusters[c].nodes;
@@ -82,33 +81,6 @@ std::size_t Hc3iRuntime::cluster_unacked_log_entries(ClusterId c) const {
     total += a->msg_log().unacked_count();
   }
   return total;
-}
-
-const net::SmallDdv& Hc3iRuntime::shared_piggy_ddv(ClusterId c, SeqNum sn,
-                                                   Incarnation inc,
-                                                   const proto::Ddv& ddv) {
-  HC3I_CHECK(c.v < piggy_cache_.size(), "shared_piggy_ddv: bad cluster");
-  PiggyCache& cache = piggy_cache_[c.v];
-  for (PiggyEntry& e : cache.slots) {
-    if (e.valid && e.sn == sn && e.inc == inc) return e.ddv;
-  }
-  // New (SN, incarnation) epoch: rebuild into the slot holding the older
-  // epoch, so the current and previous epochs stay cached side by side
-  // through a commit wave.
-  PiggyEntry& victim =
-      !cache.slots[0].valid ? cache.slots[0]
-      : !cache.slots[1].valid ? cache.slots[1]
-      : std::pair(cache.slots[0].inc, cache.slots[0].sn) <
-              std::pair(cache.slots[1].inc, cache.slots[1].sn)
-          ? cache.slots[0]
-          : cache.slots[1];
-  const std::vector<SeqNum>& v = ddv.values();
-  victim.ddv = net::SmallDdv(v.data(), v.size());
-  victim.sn = sn;
-  victim.inc = inc;
-  victim.valid = true;
-  ++piggy_rebuilds_;
-  return victim.ddv;
 }
 
 void Hc3iRuntime::record_gc(SimTime t, ClusterId c, std::size_t before,

@@ -22,10 +22,8 @@
 
 #include "config/spec.hpp"
 #include "hc3i/options.hpp"
-#include "net/small_ddv.hpp"
 #include "proto/agent.hpp"
 #include "proto/clc_store.hpp"
-#include "proto/ddv.hpp"
 #include "util/ids.hpp"
 #include "util/time.hpp"
 
@@ -79,22 +77,6 @@ class Hc3iRuntime {
   /// Unacknowledged sender-log entries across a cluster's nodes.
   std::size_t cluster_unacked_log_entries(ClusterId c) const;
 
-  /// The piggyback DDV representation shared by every sender of cluster `c`
-  /// for the current (SN, incarnation) epoch.  Within an epoch a cluster's
-  /// DDV is immutable (it only changes when a CLC commit advances the SN or
-  /// a rollback bumps the incarnation — both re-synchronise the DDV
-  /// cluster-wide), so the representation is built once per epoch and every
-  /// send copies it allocation-free (inline) or by refcount bump (spilled).
-  /// `ddv` is the caller's current DDV, used (only) to rebuild on epoch
-  /// advance.
-  const net::SmallDdv& shared_piggy_ddv(ClusterId c, SeqNum sn,
-                                        Incarnation inc,
-                                        const proto::Ddv& ddv);
-
-  /// How many times a piggyback representation was (re)built — sends minus
-  /// cache hits (tests assert the epoch-cache invalidation contract).
-  std::uint64_t piggy_rebuilds() const { return piggy_rebuilds_; }
-
   /// Record a GC outcome (called by each cluster's GC handler).
   void record_gc(SimTime t, ClusterId c, std::size_t before,
                  std::size_t after);
@@ -102,29 +84,12 @@ class Hc3iRuntime {
   const std::vector<GcEvent>& gc_events() const { return gc_events_; }
 
  private:
-  /// One cached piggyback representation, keyed by epoch.
-  struct PiggyEntry {
-    SeqNum sn{0};
-    Incarnation inc{0};
-    bool valid{false};
-    net::SmallDdv ddv;
-  };
-  /// Two entries per cluster: while a ClcCommit wave propagates, senders
-  /// that have applied it (new epoch) interleave with senders that have
-  /// not (previous epoch); one slot per epoch keeps the whole wave window
-  /// rebuild-free instead of thrashing on every alternation.
-  struct PiggyCache {
-    PiggyEntry slots[2];
-  };
-
   config::RunSpec spec_;
   Hc3iOptions opts_;
   std::vector<std::unique_ptr<proto::ClcStore>> stores_;
   std::vector<Incarnation> incarnations_;
   std::vector<std::vector<Hc3iAgent*>> agents_;  ///< [cluster][local index]
   std::vector<GcEvent> gc_events_;
-  std::vector<PiggyCache> piggy_cache_;          ///< [cluster]
-  std::uint64_t piggy_rebuilds_{0};
 };
 
 }  // namespace hc3i::core

@@ -10,7 +10,7 @@
 #include <cstdint>
 #include <memory>
 
-#include "net/small_ddv.hpp"
+#include "proto/ddv.hpp"
 #include "util/ids.hpp"
 #include "util/time.hpp"
 
@@ -33,9 +33,11 @@ struct Piggyback {
   /// Sender cluster's incarnation at send time (bumped on rollback).
   Incarnation incarnation{0};
   /// Optional full DDV (transitive-dependency extension, paper §7);
-  /// empty when the extension is off.  Small-buffer-optimised: copying an
-  /// envelope never allocates (see small_ddv.hpp).
-  SmallDdv ddv;
+  /// empty when the extension is off.  The unified inline-small / COW-spill
+  /// representation (proto/ddv.hpp) means copying an envelope never
+  /// allocates, and senders assign their live DDV directly — the snapshot
+  /// stays frozen because mutators detach.
+  proto::Ddv ddv;
 
   /// Modelled wire size of the piggyback area.
   std::uint64_t wire_bytes() const {

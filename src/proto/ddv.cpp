@@ -4,43 +4,40 @@
 
 namespace hc3i::proto {
 
-Ddv::Ddv(std::size_t clusters, ClusterId self, SeqNum own_sn)
-    : v_(clusters, 0) {
+Ddv::Ddv(std::size_t clusters, ClusterId self, SeqNum own_sn) : inline_{} {
   HC3I_CHECK(self.v < clusters, "Ddv: owner out of range");
-  v_[self.v] = own_sn;
-}
-
-SeqNum Ddv::at(ClusterId i) const {
-  HC3I_CHECK(i.v < v_.size(), "Ddv::at: cluster out of range");
-  return v_[i.v];
-}
-
-bool Ddv::raise(ClusterId i, SeqNum sn) {
-  HC3I_CHECK(i.v < v_.size(), "Ddv::raise: cluster out of range");
-  if (sn > v_[i.v]) {
-    v_[i.v] = sn;
-    return true;
+  size_ = static_cast<std::uint32_t>(clusters);
+  if (clusters <= kInlineEntries) {
+    inline_[self.v] = own_sn;  // the rest stays zero from the initialiser
+    return;
   }
-  return false;
-}
-
-void Ddv::set(ClusterId i, SeqNum sn) {
-  HC3I_CHECK(i.v < v_.size(), "Ddv::set: cluster out of range");
-  v_[i.v] = sn;
+  Spill* block = alloc_spill(clusters);
+  std::memset(block->data(), 0, clusters * sizeof(SeqNum));
+  block->data()[self.v] = own_sn;
+  spill_ = block;
 }
 
 void Ddv::merge_max(const Ddv& other) {
   HC3I_CHECK(other.size() == size(), "Ddv::merge_max: size mismatch");
-  for (std::size_t i = 0; i < v_.size(); ++i) {
-    v_[i] = std::max(v_[i], other.v_[i]);
-  }
+  // Find the first entry that will actually rise before touching the COW
+  // barrier: under HC3I every node of a cluster acks the same DDV, so the
+  // common case is "nothing to merge" and must stay write-free.
+  const SeqNum* theirs = other.data();
+  const SeqNum* ours = data();
+  std::size_t i = 0;
+  while (i < size_ && theirs[i] <= ours[i]) ++i;
+  if (i == size_) return;
+  // `theirs` stays valid across the detach: if the blocks were shared, the
+  // early scan above would have found nothing to raise.
+  SeqNum* w = mutable_data();
+  for (; i < size_; ++i) w[i] = std::max(w[i], theirs[i]);
 }
 
 std::string Ddv::to_string() const {
   std::string out = "(";
-  for (std::size_t i = 0; i < v_.size(); ++i) {
+  for (std::size_t i = 0; i < size_; ++i) {
     if (i) out += ", ";
-    out += std::to_string(v_[i]);
+    out += std::to_string(data()[i]);
   }
   out += ")";
   return out;

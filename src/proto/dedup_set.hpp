@@ -66,8 +66,12 @@ class DedupSet {
   std::size_t size() const { return set_.size(); }
 
   /// Capture as a shared sorted image — O(n log n) on the first capture
-  /// after a mutation, O(1) (refcount bump) afterwards.
+  /// after a mutation, O(1) (refcount bump) afterwards.  An empty set
+  /// captures as the storage-free default image: most nodes of a large
+  /// federation never receive inter-cluster traffic, and their checkpoint
+  /// parts must not cost an allocation.
   DedupImage capture() const {
+    if (set_.empty()) return DedupImage{};
     if (!image_) {
       auto sorted = std::make_shared<std::vector<std::uint64_t>>(set_.begin(),
                                                                  set_.end());

@@ -61,7 +61,7 @@ EncodedClcMetas encode_clc_metas(const std::vector<ClcMeta>& metas) {
     put_varint(enc.bytes, m.sn - prev_sn);
     prev_sn = m.sn;
 
-    const std::vector<SeqNum>& cur = m.ddv.values();
+    const SeqNum* cur = m.ddv.data();
     std::size_t changed = 0;
     for (std::size_t i = 0; i < width; ++i) changed += cur[i] != prev[i];
     put_varint(enc.bytes, changed);
@@ -98,7 +98,15 @@ std::vector<ClcMeta> decode_clc_metas(const EncodedClcMetas& enc) {
   SeqNum prev_sn = 0;
   std::vector<SeqNum> prev(width, 0);
   for (std::uint64_t r = 0; r < count; ++r) {
-    prev_sn += static_cast<SeqNum>(get_varint(enc.bytes, pos));
+    // SN deltas are encoded unsigned (the encoder requires SN-ordered
+    // records), so the only way past the SeqNum range is an adversarial
+    // varint — reject it instead of wrapping prev_sn silently.  Comparing
+    // the delta against the remaining headroom also rules out the
+    // prev_sn + delta sum itself wrapping std::uint64_t.
+    const std::uint64_t sn_delta = get_varint(enc.bytes, pos);
+    HC3I_CHECK(sn_delta <= std::numeric_limits<SeqNum>::max() - prev_sn,
+               "gc_wire: SN delta out of range");
+    prev_sn += static_cast<SeqNum>(sn_delta);
     const std::uint64_t changed = get_varint(enc.bytes, pos);
     HC3I_CHECK(changed <= width, "gc_wire: changed count exceeds width");
     std::size_t idx = 0;  // one past the previous changed index
@@ -118,10 +126,7 @@ std::vector<ClcMeta> decode_clc_metas(const EncodedClcMetas& enc) {
     }
     ClcMeta m;
     m.sn = prev_sn;
-    m.ddv = Ddv(width, ClusterId{0}, 0);
-    for (std::size_t i = 0; i < width; ++i) {
-      m.ddv.set(ClusterId{static_cast<std::uint32_t>(i)}, prev[i]);
-    }
+    m.ddv = Ddv(prev.data(), width);
     metas.push_back(std::move(m));
   }
   HC3I_CHECK(pos == enc.bytes.size(), "gc_wire: trailing bytes");

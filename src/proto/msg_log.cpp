@@ -7,17 +7,21 @@
 namespace hc3i::proto {
 
 void MsgLog::detach() {
-  // use_count > 1 means a captured LogImage (or a log restored from one)
-  // still references the buffer; clone before mutating so the image stays
-  // frozen at its capture state.  Single-threaded use_count is exact.
-  if (entries_.use_count() > 1) {
+  // Null storage means "empty": a mutator about to write needs a buffer.
+  // Otherwise use_count > 1 means a captured LogImage (or a log restored
+  // from one) still references the buffer; clone before mutating so the
+  // image stays frozen at its capture state.  Single-threaded use_count is
+  // exact.
+  if (!entries_) {
+    entries_ = std::make_shared<std::vector<LogEntry>>();
+  } else if (entries_.use_count() > 1) {
     entries_ = std::make_shared<std::vector<LogEntry>>(*entries_);
   }
 }
 
 void MsgLog::add(const net::Envelope& env) {
   HC3I_CHECK(!env.intra_cluster(), "MsgLog: only inter-cluster messages are logged");
-  HC3I_CHECK(entries_->empty() || entries_->back().env.id.v < env.id.v,
+  HC3I_CHECK(size() == 0 || entries_->back().env.id.v < env.id.v,
              "MsgLog: sends must arrive in MsgId order");
   detach();
   entries_->push_back(LogEntry{env, false, 0, 0});
@@ -26,6 +30,7 @@ void MsgLog::add(const net::Envelope& env) {
 
 void MsgLog::record_ack(MsgId id, SeqNum ack_sn, Incarnation ack_inc) {
   // Locate first; an unknown id must not pay the copy-on-write barrier.
+  if (!entries_) return;
   const auto it = std::lower_bound(
       entries_->begin(), entries_->end(), id,
       [](const LogEntry& e, MsgId target) { return e.env.id.v < target.v; });
@@ -43,6 +48,7 @@ std::vector<net::Envelope> MsgLog::take_resends(ClusterId dst,
                                                 SeqNum restored_sn,
                                                 Incarnation new_inc) {
   std::vector<net::Envelope> out;
+  if (!entries_) return out;
   auto needs_resend = [&](const LogEntry& e) {
     if (e.env.dst_cluster != dst) return false;
     if (!e.acked) return true;
@@ -66,6 +72,7 @@ std::vector<net::Envelope> MsgLog::take_resends(ClusterId dst,
 }
 
 std::size_t MsgLog::truncate_from(SeqNum restored_sn) {
+  if (!entries_) return 0;
   const auto undone = [&](const LogEntry& e) {
     return e.env.piggy.sn >= restored_sn;
   };
@@ -79,6 +86,7 @@ std::size_t MsgLog::truncate_from(SeqNum restored_sn) {
 }
 
 std::size_t MsgLog::prune(ClusterId dst, SeqNum min_sn) {
+  if (!entries_) return 0;
   const auto stable = [&](const LogEntry& e) {
     return e.env.dst_cluster == dst && e.acked && e.ack_sn < min_sn;
   };
@@ -92,24 +100,20 @@ std::size_t MsgLog::prune(ClusterId dst, SeqNum min_sn) {
 }
 
 void MsgLog::restore(const LogImage& image) {
-  if (image.data_ != nullptr) {
-    // Adopt the shared buffer; detach() protects the image (and any other
-    // adopter) if this log mutates later.
-    entries_ = std::const_pointer_cast<std::vector<LogEntry>>(image.data_);
-  } else {
-    entries_ = std::make_shared<std::vector<LogEntry>>();
-  }
+  // Adopt the shared buffer (or the empty state); detach() protects the
+  // image (and any other adopter) if this log mutates later.
+  entries_ = std::const_pointer_cast<std::vector<LogEntry>>(image.data_);
   recount_unacked();
 }
 
 void MsgLog::recount_unacked() {
   unacked_ = 0;
-  for (const auto& e : *entries_) unacked_ += e.acked ? 0 : 1;
+  for (const auto& e : entries()) unacked_ += e.acked ? 0 : 1;
 }
 
 std::uint64_t MsgLog::bytes() const {
   std::uint64_t total = 0;
-  for (const auto& e : *entries_) {
+  for (const auto& e : entries()) {
     total += e.env.wire_bytes() + sizeof(SeqNum) + sizeof(Incarnation);
   }
   return total;

@@ -90,7 +90,7 @@ class MsgLog {
   std::size_t prune(ClusterId dst, SeqNum min_sn);
 
   /// Number of live entries.
-  std::size_t size() const { return entries_->size(); }
+  std::size_t size() const { return entries_ ? entries_->size() : 0; }
   /// Entries whose acknowledgement has not arrived yet (messages whose
   /// delivery is still unconfirmed — the paper's §5.4 "logged messages"
   /// high-water counts these).  Maintained incrementally: the high-water
@@ -99,7 +99,10 @@ class MsgLog {
   /// Modelled bytes held by the log.
   std::uint64_t bytes() const;
   /// Read-only view (tests, checkpoint capture).
-  const std::vector<LogEntry>& entries() const { return *entries_; }
+  const std::vector<LogEntry>& entries() const {
+    static const std::vector<LogEntry> kEmpty;
+    return entries_ ? *entries_ : kEmpty;
+  }
   /// Capture the log as a shared immutable image — O(1); the live log
   /// detaches (copies) lazily before its next mutation.
   LogImage capture() const { return LogImage{entries_}; }
@@ -121,9 +124,10 @@ class MsgLog {
   //
   // The vector lives behind a shared_ptr so capture() can freeze it by
   // sharing; every mutator calls detach() first, which clones only while a
-  // capture is alive.  entries_ is never null.
-  std::shared_ptr<std::vector<LogEntry>> entries_ =
-      std::make_shared<std::vector<LogEntry>>();
+  // capture is alive.  Null means "never logged anything" — most nodes of a
+  // large federation never send inter-cluster, and their logs (and every
+  // capture of them) must not cost an allocation.
+  std::shared_ptr<std::vector<LogEntry>> entries_;
   std::size_t unacked_{0};
 };
 

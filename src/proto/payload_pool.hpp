@@ -36,11 +36,22 @@ inline constexpr std::size_t kMaxPooledPerType = 4096;
 
 /// One free list per allocated block type (allocate_shared's internal
 /// control-block-plus-object type, so per payload type in practice).
+/// Idle blocks parked in the list are raw storage (their objects are
+/// already destroyed), so the holder releases them at static destruction —
+/// otherwise the vector's own teardown would drop the only pointers to
+/// them and the sanitized build (CI job `sanitize`) would report every
+/// parked block as leaked.
 template <typename Block>
 struct PayloadFreeList {
+  struct Holder {
+    std::vector<void*> blocks;
+    ~Holder() {
+      for (void* p : blocks) ::operator delete(p);
+    }
+  };
   static std::vector<void*>& list() {
-    static std::vector<void*> l;
-    return l;
+    static Holder h;
+    return h.blocks;
   }
 };
 

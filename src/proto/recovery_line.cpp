@@ -8,91 +8,129 @@ namespace hc3i::proto {
 
 namespace {
 
-/// The effective record list of cluster c once it has rolled back to
-/// `restored_sn`: records with larger SN are discarded.  Returns the DDV of
-/// the most recent effective record — the cluster's current DDV.
-const Ddv& current_ddv(const std::vector<ClcMeta>& metas, SeqNum restored_sn) {
-  const ClcMeta* best = nullptr;
-  for (const auto& m : metas) {
-    if (m.sn <= restored_sn) best = &m;
-  }
-  HC3I_CHECK(best != nullptr, "recovery line: no effective checkpoint");
-  return best->ddv;
+/// Index of the most recent record with sn <= `restored_sn` — a binary
+/// search over the SN-ordered list (ordering is validated once by
+/// LineSolver before any search runs).
+std::size_t effective_index(const std::vector<ClcMeta>& metas,
+                            SeqNum restored_sn) {
+  const auto it = std::partition_point(
+      metas.begin(), metas.end(),
+      [&](const ClcMeta& m) { return m.sn <= restored_sn; });
+  HC3I_CHECK(it != metas.begin(), "recovery line: no effective checkpoint");
+  return static_cast<std::size_t>(it - metas.begin()) - 1;
 }
+
+/// Shared fixpoint state over one checkpoint-metadata snapshot.
+///
+/// The GC initiator "simulates a failure in each cluster" (paper §3.5) —
+/// O(C) fixpoints over the same snapshot — and the fixpoint's inner loop
+/// needs each cluster's *effective* DDV (the DDV of its most recent record
+/// with sn <= its current restored SN).  Rescanning the whole record list
+/// for it on every inner-loop call made gc_min_restored_sns quadratic-plus
+/// at scale, and re-validating the snapshot per fixpoint repaid the O(total
+/// records) checks C times.  The solver validates once at construction and
+/// maintains the per-cluster effective index incrementally: it starts at
+/// the newest record (binary-searched) and only ever moves down, exactly
+/// when the fixpoint lowers that cluster's restored SN — so the effective
+/// DDV is an O(1) lookup.
+class LineSolver {
+ public:
+  explicit LineSolver(const std::vector<std::vector<ClcMeta>>& meta)
+      : meta_(meta), eff_(meta.size()) {
+    for (std::size_t c = 0; c < meta_.size(); ++c) {
+      HC3I_CHECK(!meta_[c].empty(),
+                 "recovery line: cluster " + std::to_string(c) +
+                     " has no stored CLC (initial checkpoint missing?)");
+      for (std::size_t k = 1; k < meta_[c].size(); ++k) {
+        HC3I_CHECK(meta_[c][k].sn > meta_[c][k - 1].sn,
+                   "recovery line: metadata must be SN-ordered");
+      }
+    }
+  }
+
+  RecoveryLine solve(ClusterId faulty) {
+    const std::size_t n = meta_.size();
+    HC3I_CHECK(faulty.v < n, "recovery line: bad faulty cluster");
+
+    RecoveryLine line;
+    line.restored.resize(n);
+    line.rolled_back.assign(n, false);
+    for (std::size_t c = 0; c < n; ++c) {
+      line.restored[c] = meta_[c].back().sn;
+      eff_[c] = effective_index(meta_[c], line.restored[c]);
+    }
+
+    // The faulty cluster restores its most recent stored CLC (paper §3.4).
+    line.rolled_back[faulty.v] = true;
+
+    // Alert propagation to fixpoint. Each iteration applies every pending
+    // alert (i -> everyone); restored SNs are monotonically non-increasing
+    // and bounded below by the first stored SN, so this terminates.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!line.rolled_back[i]) continue;
+        const SeqNum r_i = line.restored[i];
+        const ClusterId ci{static_cast<std::uint32_t>(i)};
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          // j's current DDV is the DDV of its effective record — an O(1)
+          // read off the incrementally maintained index.
+          if (meta_[j][eff_[j]].ddv.at(ci) < r_i) continue;
+          // j depends on an undone epoch of i: roll back to the oldest
+          // effective CLC whose entry for i is >= r_i.
+          std::size_t target = eff_[j] + 1;
+          for (std::size_t k = 0; k <= eff_[j]; ++k) {
+            if (meta_[j][k].ddv.at(ci) >= r_i) {
+              target = k;
+              break;
+            }
+          }
+          HC3I_CHECK(target <= eff_[j],
+                     "recovery line: no rollback target in cluster " +
+                         std::to_string(j) + " for alert from " +
+                         std::to_string(i));
+          // Rolling back to the most recent CLC (target == eff_[j]) still
+          // counts: the post-commit execution holds the undone delivery,
+          // and the rollback's own alert may cascade further.
+          if (meta_[j][target].sn < line.restored[j] ||
+              !line.rolled_back[j]) {
+            line.restored[j] = meta_[j][target].sn;
+            eff_[j] = target;
+            line.rolled_back[j] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+    return line;
+  }
+
+ private:
+  const std::vector<std::vector<ClcMeta>>& meta_;
+  std::vector<std::size_t> eff_;  ///< per-cluster effective-record index
+};
 
 }  // namespace
 
 RecoveryLine compute_recovery_line(
     const std::vector<std::vector<ClcMeta>>& meta, ClusterId faulty) {
-  const std::size_t n = meta.size();
-  HC3I_CHECK(faulty.v < n, "recovery line: bad faulty cluster");
-  for (std::size_t c = 0; c < n; ++c) {
-    HC3I_CHECK(!meta[c].empty(),
-               "recovery line: cluster " + std::to_string(c) +
-                   " has no stored CLC (initial checkpoint missing?)");
-    for (std::size_t k = 1; k < meta[c].size(); ++k) {
-      HC3I_CHECK(meta[c][k].sn > meta[c][k - 1].sn,
-                 "recovery line: metadata must be SN-ordered");
-    }
-  }
-
-  RecoveryLine line;
-  line.restored.resize(n);
-  line.rolled_back.assign(n, false);
-  for (std::size_t c = 0; c < n; ++c) line.restored[c] = meta[c].back().sn;
-
-  // The faulty cluster restores its most recent stored CLC (paper §3.4).
-  line.rolled_back[faulty.v] = true;
-
-  // Alert propagation to fixpoint. Each iteration applies every pending
-  // alert (i -> everyone); restored SNs are monotonically non-increasing
-  // and bounded below by the first stored SN, so this terminates.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!line.rolled_back[i]) continue;
-      const SeqNum r_i = line.restored[i];
-      for (std::size_t j = 0; j < n; ++j) {
-        if (j == i) continue;
-        const Ddv& ddv_j = current_ddv(meta[j], line.restored[j]);
-        if (ddv_j.at(ClusterId{static_cast<std::uint32_t>(i)}) < r_i) continue;
-        // j depends on an undone epoch of i: roll back to the oldest
-        // effective CLC whose entry for i is >= r_i.
-        const ClcMeta* target = nullptr;
-        for (const auto& m : meta[j]) {
-          if (m.sn > line.restored[j]) break;
-          if (m.ddv.at(ClusterId{static_cast<std::uint32_t>(i)}) >= r_i) {
-            target = &m;
-            break;
-          }
-        }
-        HC3I_CHECK(target != nullptr,
-                   "recovery line: no rollback target in cluster " +
-                       std::to_string(j) + " for alert from " +
-                       std::to_string(i));
-        // Rolling back to the most recent CLC (target->sn == restored[j])
-        // still counts: the post-commit execution holds the undone
-        // delivery, and the rollback's own alert may cascade further.
-        if (target->sn < line.restored[j] || !line.rolled_back[j]) {
-          line.restored[j] = target->sn;
-          line.rolled_back[j] = true;
-          changed = true;
-        }
-      }
-    }
-  }
-  return line;
+  return LineSolver(meta).solve(faulty);
 }
 
 std::vector<SeqNum> gc_min_restored_sns(
     const std::vector<std::vector<ClcMeta>>& meta) {
   const std::size_t n = meta.size();
+  // One solver for all C simulated failures: the snapshot is validated
+  // once (before any list is dereferenced) and the fixpoints share its
+  // scratch state (ROADMAP's "shared fixpoint" item).
+  LineSolver solver(meta);
   std::vector<SeqNum> min_sns(n);
   for (std::size_t c = 0; c < n; ++c) min_sns[c] = meta[c].back().sn;
   for (std::size_t f = 0; f < n; ++f) {
     const RecoveryLine line =
-        compute_recovery_line(meta, ClusterId{static_cast<std::uint32_t>(f)});
+        solver.solve(ClusterId{static_cast<std::uint32_t>(f)});
     for (std::size_t c = 0; c < n; ++c) {
       min_sns[c] = std::min(min_sns[c], line.restored[c]);
     }

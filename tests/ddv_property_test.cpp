@@ -1,0 +1,225 @@
+// Property suite for the unified proto::Ddv (inline-small + refcounted
+// COW spill): every operation must agree with a plain std::vector<SeqNum>
+// reference model at widths spanning the inline/spill boundary, and shared
+// storage must behave like value semantics — a mutation after sharing
+// detaches the writer and never moves an outstanding snapshot.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "proto/ddv.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hc3i::proto {
+namespace {
+
+std::vector<SeqNum> random_entries(RngStream& rng, std::size_t width) {
+  std::vector<SeqNum> v(width);
+  for (auto& e : v) e = static_cast<SeqNum>(rng.next_below(50));
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Model equivalence: raise/set/merge_max/at/equality vs the vector model,
+// with aliased snapshots taken along the way (COW isolation).
+// ---------------------------------------------------------------------------
+
+class DdvModelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DdvModelProperty, AgreesWithVectorModelAcrossWidths) {
+  RngStream rng(GetParam(), 0xDD5);
+  // Width 1..64: both sides of the inline boundary, far into spill range.
+  std::size_t width = 1 + rng.next_below(64);
+  Ddv d(width, ClusterId{0}, 0);
+  std::vector<SeqNum> model(width, 0);
+  // Aliased snapshots with their expected values at snapshot time.
+  std::vector<std::pair<Ddv, std::vector<SeqNum>>> snaps;
+
+  for (int step = 0; step < 300; ++step) {
+    const auto i =
+        ClusterId{static_cast<std::uint32_t>(rng.next_below(width))};
+    switch (rng.next_below(6)) {
+      case 0: {  // raise
+        const auto sn = static_cast<SeqNum>(rng.next_below(60));
+        const bool raised = d.raise(i, sn);
+        EXPECT_EQ(raised, sn > model[i.v]);
+        model[i.v] = std::max(model[i.v], sn);
+        break;
+      }
+      case 1: {  // set (any direction, including no-op)
+        const auto sn = static_cast<SeqNum>(rng.next_below(60));
+        d.set(i, sn);
+        model[i.v] = sn;
+        break;
+      }
+      case 2: {  // merge_max with an independent vector
+        const std::vector<SeqNum> other = random_entries(rng, width);
+        d.merge_max(Ddv(other));
+        for (std::size_t k = 0; k < width; ++k) {
+          model[k] = std::max(model[k], other[k]);
+        }
+        break;
+      }
+      case 3: {  // take an aliasing snapshot (bounded)
+        if (snaps.size() < 8) snaps.emplace_back(d, model);
+        break;
+      }
+      case 4: {  // whole reassignment — crosses the inline/spill boundary
+                 // in both directions as widths shuffle
+        width = 1 + rng.next_below(64);
+        const std::vector<SeqNum> fresh = random_entries(rng, width);
+        d = Ddv(fresh);
+        model = fresh;
+        break;
+      }
+      case 5: {  // self-merge is always a no-op
+        d.merge_max(d);
+        break;
+      }
+    }
+    // Invariants, every step.
+    ASSERT_EQ(d.size(), model.size());
+    ASSERT_EQ(d.to_vector(), model);
+    ASSERT_EQ(d.spilled(), model.size() > Ddv::kInlineEntries);
+    for (std::size_t k = 0; k < model.size(); ++k) {
+      ASSERT_EQ(d.at(ClusterId{static_cast<std::uint32_t>(k)}), model[k]);
+      ASSERT_EQ(d[k], model[k]);
+    }
+    ASSERT_TRUE(d == Ddv(model));
+    // Every outstanding snapshot is frozen at its capture state.
+    for (const auto& [snap, expect] : snaps) {
+      ASSERT_EQ(snap.to_vector(), expect);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomOpSequences, DdvModelProperty,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+// ---------------------------------------------------------------------------
+// Targeted COW aliasing checks
+// ---------------------------------------------------------------------------
+
+TEST(DdvCow, MutateAfterShareDetachesSpilled) {
+  Ddv a(8, ClusterId{0}, 5);
+  Ddv b = a;
+  ASSERT_TRUE(b.shares_storage_with(a));
+  ASSERT_TRUE(b.raise(ClusterId{3}, 9));
+  EXPECT_FALSE(b.shares_storage_with(a));
+  EXPECT_EQ(a.at(ClusterId{3}), 0u);  // the shared block never moved
+  EXPECT_EQ(b.at(ClusterId{3}), 9u);
+  EXPECT_EQ(a.at(ClusterId{0}), 5u);
+}
+
+TEST(DdvCow, MutateAfterShareLeavesInlineCopiesIndependent) {
+  Ddv a(3, ClusterId{0}, 5);
+  Ddv b = a;
+  b.set(ClusterId{1}, 7);
+  EXPECT_EQ(a.at(ClusterId{1}), 0u);
+  EXPECT_EQ(b.at(ClusterId{1}), 7u);
+}
+
+TEST(DdvCow, NoOpMutatorsDoNotDetach) {
+  Ddv a(8, ClusterId{2}, 5);
+  a.raise(ClusterId{6}, 3);
+  Ddv b = a;
+  ASSERT_TRUE(b.shares_storage_with(a));
+  EXPECT_FALSE(b.raise(ClusterId{6}, 2));  // below current: no-op
+  b.set(ClusterId{2}, 5);                  // equal: no-op
+  b.merge_max(a);                          // dominated: no-op
+  b.merge_max(b);                          // self: no-op
+  EXPECT_TRUE(b.shares_storage_with(a));
+}
+
+TEST(DdvCow, MergeMaxDetachesExactlyWhenAnEntryRises) {
+  Ddv a(8, ClusterId{0}, 5);
+  Ddv b = a;
+  Ddv other(8, ClusterId{7}, 1);
+  b.merge_max(other);  // raises entry 7 from 0 to 1
+  EXPECT_FALSE(b.shares_storage_with(a));
+  EXPECT_EQ(a.at(ClusterId{7}), 0u);
+  EXPECT_EQ(b.at(ClusterId{7}), 1u);
+  EXPECT_EQ(b.at(ClusterId{0}), 5u);  // untouched entries carried over
+}
+
+TEST(DdvCow, MergeWithAliasedArgumentIsSafe) {
+  // The argument shares the destination's spill block; the early "anything
+  // to raise?" scan must conclude no and leave both untouched.
+  Ddv a(8, ClusterId{1}, 4);
+  Ddv b = a;
+  b.merge_max(a);
+  EXPECT_TRUE(b.shares_storage_with(a));
+  EXPECT_EQ(b, a);
+}
+
+TEST(DdvCow, ThirdCopyStillSharesAfterOneWriterDetaches) {
+  Ddv a(8, ClusterId{0}, 5);
+  Ddv b = a;
+  Ddv c = a;
+  b.set(ClusterId{4}, 2);  // b detaches
+  EXPECT_TRUE(c.shares_storage_with(a));
+  EXPECT_FALSE(b.shares_storage_with(a));
+  EXPECT_EQ(c, a);
+}
+
+TEST(DdvCow, SoleOwnerMutatesInPlaceWithoutReallocating) {
+  Ddv a(8, ClusterId{0}, 5);
+  const SeqNum* before = a.data();
+  a.set(ClusterId{3}, 9);   // refs == 1: in-place
+  a.raise(ClusterId{5}, 2);
+  EXPECT_EQ(a.data(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Inline/spill boundary crossings
+// ---------------------------------------------------------------------------
+
+TEST(DdvBoundary, ExactCapacityStaysInlineOnePastSpills) {
+  const Ddv at_cap(Ddv::kInlineEntries, ClusterId{0}, 1);
+  EXPECT_FALSE(at_cap.spilled());
+  const Ddv past(Ddv::kInlineEntries + 1, ClusterId{0}, 1);
+  EXPECT_TRUE(past.spilled());
+  EXPECT_EQ(past.at(ClusterId{0}), 1u);
+  EXPECT_EQ(past.at(ClusterId{static_cast<std::uint32_t>(
+                Ddv::kInlineEntries)}),
+            0u);
+}
+
+TEST(DdvBoundary, AssignAcrossTheBoundaryBothDirections) {
+  Ddv d(2, ClusterId{0}, 3);          // inline
+  const Ddv wide(9, ClusterId{8}, 7);  // spilled
+  d = wide;                            // inline -> spill (refcount bump)
+  EXPECT_TRUE(d.spilled());
+  EXPECT_TRUE(d.shares_storage_with(wide));
+  d = Ddv(2, ClusterId{1}, 4);         // spill -> inline (block released)
+  EXPECT_FALSE(d.spilled());
+  EXPECT_EQ(d.at(ClusterId{1}), 4u);
+  EXPECT_EQ(wide.at(ClusterId{8}), 7u);  // survivor unaffected
+}
+
+TEST(DdvBoundary, OutOfRangeAccessorsThrowAtEveryWidth) {
+  for (const std::size_t width : {1u, 4u, 5u, 64u}) {
+    Ddv d(width, ClusterId{0}, 1);
+    const auto past = ClusterId{static_cast<std::uint32_t>(width)};
+    EXPECT_THROW(d.at(past), CheckFailure) << width;
+    EXPECT_THROW(d.raise(past, 1), CheckFailure) << width;
+    EXPECT_THROW(d.set(past, 1), CheckFailure) << width;
+    EXPECT_THROW(d.merge_max(Ddv(width + 1, ClusterId{0}, 1)), CheckFailure)
+        << width;
+  }
+}
+
+TEST(DdvBoundary, MovedFromIsEmptyAndReusable) {
+  Ddv a(8, ClusterId{0}, 1);
+  Ddv b = std::move(a);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): asserted state
+  a = Ddv(3, ClusterId{1}, 2);
+  EXPECT_EQ(a.at(ClusterId{1}), 2u);
+  EXPECT_EQ(b.at(ClusterId{0}), 1u);
+}
+
+}  // namespace
+}  // namespace hc3i::proto

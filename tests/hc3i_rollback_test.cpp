@@ -220,6 +220,72 @@ TEST(Rollback, FailureDuringRoundAbortsIt) {
   EXPECT_TRUE(w.fed.ledger().validate(false).empty());
 }
 
+TEST(Rollback, FailureBetweenPhase1AcksLeavesNoStaleDdv) {
+  // Regression for the coordinator round-scratch lifecycle: a failure that
+  // aborts a 2PC round between its phase-1 acks (incarnation bump
+  // mid-round) must not let the aborted round's merged DDV, absorbed
+  // demands or tentative parts leak into a later round's committed DDV
+  // (apply_cluster_rollback clears parts_/round_ddv_merge_/pending_*).
+  config::RunSpec spec = tiny_spec(2, 3);
+  spec.application.state_bytes = 50 * 1024 * 1024;  // seconds-long phase 1
+  MiniWorld w(spec, 3);
+  w.settle(minutes(1));  // initial CLCs committed
+  // Build a C0 <-> C1 dependency chain so C0's DDV carries a real entry
+  // for C1 before the aborted round.
+  w.send(NodeId{0}, NodeId{3});  // C0 SN 1 fresh at C1: forces a CLC there
+  w.settle(minutes(1));
+  w.send(NodeId{3}, NodeId{0});  // C1 SN 2 fresh at C0: forces, raises ddv
+  w.settle(minutes(1));
+  ASSERT_GE(w.agent(NodeId{0}).ddv().at(ClusterId{1}), 2u);
+  w.send(NodeId{0}, NodeId{4});  // another fresh C0 SN: C1 commits again
+  w.settle(minutes(1));
+  const SeqNum c1_before = w.agent(NodeId{3}).sn();
+
+  // A fresher C1 SN demands a forced CLC in C0; fail a C0 member while
+  // that round is collecting phase-1 acks.  The demanded raise (to C1's
+  // SN 4) is exactly the kind of entry that must die with the round.
+  w.send(NodeId{4}, NodeId{1});
+  while (!w.agent(NodeId{0}).in_round() && w.sim.now() < minutes(15)) {
+    ASSERT_TRUE(w.sim.step());
+  }
+  ASSERT_TRUE(w.agent(NodeId{0}).in_round());
+  w.fed.inject_failure(NodeId{2});
+  w.settle(minutes(3));
+
+  // C0 restores SN 2; C1's DDV[0] = 2 >= 2, so C1 cascades onto its most
+  // recent CLC — which undoes the triggering send itself (its epoch is
+  // gone; the application re-executes it in real runs).
+  EXPECT_EQ(w.registry.get("rollback.count.c0"), 1u);
+  EXPECT_EQ(w.registry.get("rollback.cascade.c1"), 1u);
+  EXPECT_FALSE(w.agent(NodeId{0}).in_round());
+  // No stale round scratch: every committed C0 record's entry for C1 stays
+  // within what C1 really committed, and the cluster agrees on one DDV.
+  for (const auto& rec : w.runtime->store(ClusterId{0}).records()) {
+    EXPECT_LE(rec.ddv.at(ClusterId{1}), w.agent(NodeId{3}).sn())
+        << "committed DDV depends on a C1 SN that never stabilised";
+  }
+  const auto* first = w.runtime->cluster_agents(ClusterId{0}).front();
+  for (const auto* a : w.runtime->cluster_agents(ClusterId{0})) {
+    EXPECT_TRUE(a->ddv() == first->ddv());
+    EXPECT_EQ(a->sn(), first->sn());
+  }
+  EXPECT_EQ(w.agent(NodeId{3}).sn(), c1_before);
+
+  // The cluster must checkpoint cleanly after the aborted round: a fresh
+  // C1 send (SN 3, new incarnation) forces a CLC in C0 whose committed DDV
+  // carries exactly the re-observed SN — nothing from the dead round.
+  const std::uint64_t fresh = w.send(NodeId{3}, NodeId{0});
+  w.settle(minutes(2));
+  EXPECT_TRUE(w.delivered(NodeId{0}, fresh));
+  EXPECT_GE(w.agent(NodeId{0}).sn(), 3u);
+  EXPECT_EQ(w.agent(NodeId{0}).ddv().at(ClusterId{1}),
+            w.agent(NodeId{3}).sn());
+  for (const auto& rec : w.runtime->store(ClusterId{0}).records()) {
+    EXPECT_LE(rec.ddv.at(ClusterId{1}), w.agent(NodeId{3}).sn());
+  }
+  EXPECT_TRUE(w.fed.ledger().validate(false).empty());
+}
+
 TEST(Rollback, CoordinatorFailureHandledBySurvivor) {
   // The failure detector notifies the first *up* node; when node 0 (the
   // 2PC coordinator) dies, node 1 runs the rollback.

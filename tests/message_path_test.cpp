@@ -1,16 +1,15 @@
-// Tests for the zero-allocation message path: the small-buffer-optimised
-// piggyback DDV (spill/unspill boundaries, shared spill blocks), the
-// per-(cluster, SN)-epoch piggyback cache, the inline event callable, and
-// the copy-on-write sender-log capture.
+// Tests for the zero-allocation message path: the unified inline-small /
+// COW-spill piggyback DDV (spill/unspill boundaries, shared spill blocks,
+// the piggyback-sharing contract that replaced the epoch cache), the inline
+// event callable, and the copy-on-write sender-log capture.
 
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <vector>
 
-#include "config/presets.hpp"
-#include "hc3i/runtime.hpp"
-#include "net/small_ddv.hpp"
+#include "net/message.hpp"
+#include "proto/ddv.hpp"
 #include "proto/msg_log.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/inline_fn.hpp"
@@ -19,152 +18,136 @@ namespace hc3i {
 namespace {
 
 // ---------------------------------------------------------------------------
-// SmallDdv — spill/unspill boundaries
+// Ddv storage — spill/unspill boundaries (the former net::SmallDdv tests,
+// now exercising the unified proto::Ddv; COW semantics are covered by
+// tests/ddv_property_test.cpp)
 // ---------------------------------------------------------------------------
 
-TEST(SmallDdv, DefaultIsEmptyInline) {
-  const net::SmallDdv d;
+TEST(DdvStorage, DefaultIsEmptyInline) {
+  const proto::Ddv d;
   EXPECT_TRUE(d.empty());
   EXPECT_EQ(d.size(), 0u);
   EXPECT_FALSE(d.spilled());
 }
 
-TEST(SmallDdv, InlineUpToCapacity) {
+TEST(DdvStorage, InlineUpToCapacity) {
   // Every size up to the inline capacity stays inline and round-trips.
-  for (std::size_t n = 0; n <= net::SmallDdv::kInlineEntries; ++n) {
+  for (std::size_t n = 0; n <= proto::Ddv::kInlineEntries; ++n) {
     std::vector<SeqNum> v;
     for (std::size_t i = 0; i < n; ++i) v.push_back(static_cast<SeqNum>(i + 10));
-    const net::SmallDdv d(v);
+    const proto::Ddv d(v);
     EXPECT_FALSE(d.spilled()) << "size " << n;
     ASSERT_EQ(d.size(), n);
     EXPECT_EQ(d.to_vector(), v);
   }
 }
 
-TEST(SmallDdv, SpillsOnePastCapacity) {
-  std::vector<SeqNum> v(net::SmallDdv::kInlineEntries + 1);
+TEST(DdvStorage, SpillsOnePastCapacity) {
+  std::vector<SeqNum> v(proto::Ddv::kInlineEntries + 1);
   for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<SeqNum>(i);
-  const net::SmallDdv d(v);
+  const proto::Ddv d(v);
   EXPECT_TRUE(d.spilled());
   EXPECT_EQ(d.to_vector(), v);
 }
 
-TEST(SmallDdv, CopySharesSpillBlock) {
-  const net::SmallDdv a({1, 2, 3, 4, 5, 6, 7});
+TEST(DdvStorage, CopySharesSpillBlock) {
+  const proto::Ddv a({1, 2, 3, 4, 5, 6, 7});
   ASSERT_TRUE(a.spilled());
-  const net::SmallDdv b = a;
+  const proto::Ddv b = a;
   EXPECT_TRUE(b.shares_storage_with(a));
   EXPECT_EQ(a, b);
 }
 
-TEST(SmallDdv, InlineCopiesDoNotShare) {
-  const net::SmallDdv a({1, 2, 3});
-  const net::SmallDdv b = a;
+TEST(DdvStorage, InlineCopiesDoNotShare) {
+  const proto::Ddv a({1, 2, 3});
+  const proto::Ddv b = a;
   EXPECT_FALSE(b.shares_storage_with(a));
   EXPECT_EQ(a, b);
 }
 
-TEST(SmallDdv, MoveStealsSpillBlock) {
-  net::SmallDdv a({9, 8, 7, 6, 5, 4});
-  const net::SmallDdv keep = a;  // second ref keeps the block alive
-  const net::SmallDdv b = std::move(a);
+TEST(DdvStorage, MoveStealsSpillBlock) {
+  proto::Ddv a({9, 8, 7, 6, 5, 4});
+  const proto::Ddv keep = a;  // second ref keeps the block alive
+  const proto::Ddv b = std::move(a);
   EXPECT_TRUE(b.shares_storage_with(keep));
   EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): asserted state
   EXPECT_EQ(b.to_vector(), keep.to_vector());
 }
 
-TEST(SmallDdv, UnspillViaReassignment) {
+TEST(DdvStorage, UnspillViaReassignment) {
   // Shrinking a spilled instance back below the inline boundary releases
   // the block (the shared copy keeps its view) and goes inline again.
-  net::SmallDdv d({1, 2, 3, 4, 5});
-  const net::SmallDdv shared = d;
+  proto::Ddv d({1, 2, 3, 4, 5});
+  const proto::Ddv shared = d;
   d = {42, 43};
   EXPECT_FALSE(d.spilled());
   EXPECT_EQ(d.to_vector(), (std::vector<SeqNum>{42, 43}));
   EXPECT_EQ(shared.to_vector(), (std::vector<SeqNum>{1, 2, 3, 4, 5}));
 }
 
-TEST(SmallDdv, CopyAssignOverSpilledReleasesBlock) {
-  net::SmallDdv d({1, 2, 3, 4, 5, 6});
-  const net::SmallDdv small({7});
+TEST(DdvStorage, CopyAssignOverSpilledReleasesBlock) {
+  proto::Ddv d({1, 2, 3, 4, 5, 6});
+  const proto::Ddv small({7});
   d = small;
   EXPECT_FALSE(d.spilled());
   EXPECT_EQ(d.to_vector(), std::vector<SeqNum>{7});
 }
 
-TEST(SmallDdv, EqualityComparesValues) {
-  EXPECT_EQ(net::SmallDdv({1, 2}), net::SmallDdv({1, 2}));
-  EXPECT_FALSE(net::SmallDdv({1, 2}) == net::SmallDdv({1, 3}));
-  EXPECT_FALSE(net::SmallDdv({1, 2}) == net::SmallDdv({1, 2, 3}));
+TEST(DdvStorage, EqualityComparesValues) {
+  EXPECT_EQ(proto::Ddv({1, 2}), proto::Ddv({1, 2}));
+  EXPECT_FALSE(proto::Ddv({1, 2}) == proto::Ddv({1, 3}));
+  EXPECT_FALSE(proto::Ddv({1, 2}) == proto::Ddv({1, 2, 3}));
   // Same values in two independently built spill blocks still compare equal.
-  EXPECT_EQ(net::SmallDdv({1, 2, 3, 4, 5}), net::SmallDdv({1, 2, 3, 4, 5}));
+  EXPECT_EQ(proto::Ddv({1, 2, 3, 4, 5}), proto::Ddv({1, 2, 3, 4, 5}));
 }
 
 // ---------------------------------------------------------------------------
-// Epoch-cached shared piggyback (Hc3iRuntime::shared_piggy_ddv)
+// Piggyback sharing — the COW contract that replaced the epoch cache: a
+// sender assigns its live DDV straight into the envelope; every piggyback
+// of one (SN, incarnation) epoch shares the sender's block, and the epoch
+// advance (a commit or rollback mutating the agent's DDV) detaches the
+// writer, never the in-flight snapshots.
 // ---------------------------------------------------------------------------
 
-TEST(PiggyEpochCache, RebuildsOnlyOnEpochAdvance) {
-  const config::RunSpec spec = config::small_test_spec(3, 2);
-  core::Hc3iRuntime rt(spec, core::Hc3iOptions{});
-  proto::Ddv ddv(3, ClusterId{0}, 1);
-  ddv.raise(ClusterId{1}, 4);
-
-  const net::SmallDdv& first = rt.shared_piggy_ddv(ClusterId{0}, 1, 0, ddv);
-  EXPECT_EQ(rt.piggy_rebuilds(), 1u);
-  EXPECT_EQ(first.to_vector(), ddv.values());
-
-  // Same (SN, incarnation) epoch: served from the cache, not rebuilt.
-  rt.shared_piggy_ddv(ClusterId{0}, 1, 0, ddv);
-  rt.shared_piggy_ddv(ClusterId{0}, 1, 0, ddv);
-  EXPECT_EQ(rt.piggy_rebuilds(), 1u);
-
-  // SN advance (a CLC commit) invalidates.
-  proto::Ddv ddv2 = ddv;
-  ddv2.set(ClusterId{0}, 2);
-  const net::SmallDdv& second = rt.shared_piggy_ddv(ClusterId{0}, 2, 0, ddv2);
-  EXPECT_EQ(rt.piggy_rebuilds(), 2u);
-  EXPECT_EQ(second.to_vector(), ddv2.values());
-
-  // Incarnation advance (a rollback) invalidates too.
-  rt.shared_piggy_ddv(ClusterId{0}, 2, 1, ddv2);
-  EXPECT_EQ(rt.piggy_rebuilds(), 3u);
+TEST(PiggybackSharing, SendsWithinAnEpochShareTheSendersBlock) {
+  proto::Ddv agent_ddv(6, ClusterId{0}, 3);  // spilled: sharing observable
+  ASSERT_TRUE(agent_ddv.spilled());
+  net::Envelope a, b;
+  a.piggy.ddv = agent_ddv;
+  b.piggy.ddv = agent_ddv;
+  EXPECT_TRUE(a.piggy.ddv.shares_storage_with(agent_ddv));
+  EXPECT_TRUE(b.piggy.ddv.shares_storage_with(agent_ddv));
+  // Copying the envelope (sender log, channel capture, re-send) keeps
+  // sharing — no rebuild, no allocation of a new block.
+  const net::Envelope logged = a;
+  EXPECT_TRUE(logged.piggy.ddv.shares_storage_with(agent_ddv));
 }
 
-TEST(PiggyEpochCache, CommitWaveAlternationStaysCached) {
-  // While a ClcCommit propagates, senders on the new epoch interleave with
-  // senders still on the previous one; both epochs stay cached side by
-  // side, so the alternation rebuilds nothing.
-  const config::RunSpec spec = config::small_test_spec(3, 2);
-  core::Hc3iRuntime rt(spec, core::Hc3iOptions{});
-  proto::Ddv old_ddv(3, ClusterId{0}, 1);
-  proto::Ddv new_ddv(3, ClusterId{0}, 2);
-  rt.shared_piggy_ddv(ClusterId{0}, 1, 0, old_ddv);
-  rt.shared_piggy_ddv(ClusterId{0}, 2, 0, new_ddv);
-  EXPECT_EQ(rt.piggy_rebuilds(), 2u);
-  for (int i = 0; i < 4; ++i) {
-    EXPECT_EQ(rt.shared_piggy_ddv(ClusterId{0}, 1, 0, old_ddv).to_vector(),
-              old_ddv.values());
-    EXPECT_EQ(rt.shared_piggy_ddv(ClusterId{0}, 2, 0, new_ddv).to_vector(),
-              new_ddv.values());
-  }
-  EXPECT_EQ(rt.piggy_rebuilds(), 2u);
+TEST(PiggybackSharing, EpochAdvanceDetachesTheWriterNotTheSnapshots) {
+  proto::Ddv agent_ddv(6, ClusterId{0}, 3);
+  net::Envelope in_flight;
+  in_flight.piggy.ddv = agent_ddv;
+  const std::vector<SeqNum> at_send = in_flight.piggy.ddv.to_vector();
+
+  // A CLC commit advances the agent's DDV (epoch advance): the agent's
+  // copy detaches; the in-flight piggyback must stay frozen at send state.
+  agent_ddv.set(ClusterId{0}, 4);
+  agent_ddv.raise(ClusterId{2}, 9);
+  EXPECT_FALSE(in_flight.piggy.ddv.shares_storage_with(agent_ddv));
+  EXPECT_EQ(in_flight.piggy.ddv.to_vector(), at_send);
+  EXPECT_EQ(agent_ddv.at(ClusterId{0}), 4u);
+  EXPECT_EQ(agent_ddv.at(ClusterId{2}), 9u);
 }
 
-TEST(PiggyEpochCache, ClustersAreIndependent) {
-  const config::RunSpec spec = config::small_test_spec(3, 2);
-  core::Hc3iRuntime rt(spec, core::Hc3iOptions{});
-  const proto::Ddv d0(3, ClusterId{0}, 5);
-  const proto::Ddv d1(3, ClusterId{1}, 9);
-  rt.shared_piggy_ddv(ClusterId{0}, 5, 0, d0);
-  rt.shared_piggy_ddv(ClusterId{1}, 9, 0, d1);
-  EXPECT_EQ(rt.piggy_rebuilds(), 2u);
-  // Neither cluster's cache evicts the other's.
-  EXPECT_EQ(rt.shared_piggy_ddv(ClusterId{0}, 5, 0, d0).to_vector(),
-            d0.values());
-  EXPECT_EQ(rt.shared_piggy_ddv(ClusterId{1}, 9, 0, d1).to_vector(),
-            d1.values());
-  EXPECT_EQ(rt.piggy_rebuilds(), 2u);
+TEST(PiggybackSharing, WholeDdvAssignmentRestoresSharing) {
+  // handle_clc_commit replaces the agent DDV wholesale (ddv_ = m.ddv); the
+  // next send then shares the *new* epoch's block.
+  proto::Ddv committed(6, ClusterId{0}, 7);
+  proto::Ddv agent_ddv(6, ClusterId{0}, 3);
+  agent_ddv = committed;
+  net::Envelope env;
+  env.piggy.ddv = agent_ddv;
+  EXPECT_TRUE(env.piggy.ddv.shares_storage_with(committed));
 }
 
 // ---------------------------------------------------------------------------

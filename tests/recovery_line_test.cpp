@@ -153,15 +153,11 @@ TEST(GcMinSns, Figure5Bound) {
   }
 }
 
-// Property: GC pruning at the computed bound never breaks any later
-// recovery line, across random dependency structures.
-class GcSafetyProperty : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(GcSafetyProperty, PruneThenRecoverAlwaysWorks) {
-  RngStream rng(GetParam(), 0);
+// Build random-but-wellformed checkpoint metadata: SNs increase by 1;
+// a cluster's entry for peer p only moves up, never past p's max SN.
+std::vector<std::vector<ClcMeta>> random_wellformed_state(std::uint64_t seed) {
+  RngStream rng(seed, 0);
   const std::size_t n = 2 + rng.next_below(3);  // 2..4 clusters
-  // Build random-but-wellformed checkpoint metadata: SNs increase by 1;
-  // a cluster's entry for peer p only moves up, never past p's max SN.
   std::vector<std::vector<ClcMeta>> state(n);
   std::vector<SeqNum> max_sn(n);
   for (std::size_t c = 0; c < n; ++c) {
@@ -183,6 +179,92 @@ TEST_P(GcSafetyProperty, PruneThenRecoverAlwaysWorks) {
       state[c].push_back(meta(entries, c));
     }
   }
+  return state;
+}
+
+/// The pre-solver fixpoint, kept verbatim as the reference model: a full
+/// linear rescan for the effective DDV on every inner-loop call.  The
+/// shipping LineSolver (binary search + incrementally maintained effective
+/// indices, shared across the GC's per-fault fixpoints) must agree with
+/// this on every input.
+RecoveryLine naive_recovery_line(const std::vector<std::vector<ClcMeta>>& meta,
+                                 ClusterId faulty) {
+  const std::size_t n = meta.size();
+  const auto current_ddv = [](const std::vector<ClcMeta>& metas,
+                              SeqNum restored_sn) -> const Ddv& {
+    const ClcMeta* best = nullptr;
+    for (const auto& m : metas) {
+      if (m.sn <= restored_sn) best = &m;
+    }
+    EXPECT_NE(best, nullptr);
+    return best->ddv;
+  };
+  RecoveryLine line;
+  line.restored.resize(n);
+  line.rolled_back.assign(n, false);
+  for (std::size_t c = 0; c < n; ++c) line.restored[c] = meta[c].back().sn;
+  line.rolled_back[faulty.v] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!line.rolled_back[i]) continue;
+      const SeqNum r_i = line.restored[i];
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const Ddv& ddv_j = current_ddv(meta[j], line.restored[j]);
+        if (ddv_j.at(ClusterId{static_cast<std::uint32_t>(i)}) < r_i) continue;
+        const ClcMeta* target = nullptr;
+        for (const auto& m : meta[j]) {
+          if (m.sn > line.restored[j]) break;
+          if (m.ddv.at(ClusterId{static_cast<std::uint32_t>(i)}) >= r_i) {
+            target = &m;
+            break;
+          }
+        }
+        EXPECT_NE(target, nullptr);
+        if (target->sn < line.restored[j] || !line.rolled_back[j]) {
+          line.restored[j] = target->sn;
+          line.rolled_back[j] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  return line;
+}
+
+// Property: the shared-fixpoint solver agrees with the naive reference on
+// every fault and on the GC bound, across random dependency structures.
+class SolverEquivalenceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverEquivalenceProperty, MatchesNaiveFixpointEverywhere) {
+  const auto state = random_wellformed_state(GetParam());
+  const std::size_t n = state.size();
+  std::vector<SeqNum> naive_mins(n);
+  for (std::size_t c = 0; c < n; ++c) naive_mins[c] = state[c].back().sn;
+  for (std::uint32_t f = 0; f < n; ++f) {
+    const RecoveryLine expect = naive_recovery_line(state, ClusterId{f});
+    const RecoveryLine got = compute_recovery_line(state, ClusterId{f});
+    EXPECT_EQ(got.restored, expect.restored) << "fault " << f;
+    EXPECT_EQ(got.rolled_back, expect.rolled_back) << "fault " << f;
+    for (std::size_t c = 0; c < n; ++c) {
+      naive_mins[c] = std::min(naive_mins[c], expect.restored[c]);
+    }
+  }
+  EXPECT_EQ(gc_min_restored_sns(state), naive_mins);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDependencyGraphs, SolverEquivalenceProperty,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+// Property: GC pruning at the computed bound never breaks any later
+// recovery line, across random dependency structures.
+class GcSafetyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GcSafetyProperty, PruneThenRecoverAlwaysWorks) {
+  const auto state = random_wellformed_state(GetParam());
+  const std::size_t n = state.size();
   const std::vector<SeqNum> mins = gc_min_restored_sns(state);
   auto pruned = state;
   for (std::size_t c = 0; c < n; ++c) {

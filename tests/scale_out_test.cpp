@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -258,6 +259,30 @@ TEST(GcWire, RejectsMalformedStreams) {
   proto::EncodedClcMetas wide;
   wide.bytes = {0x01, 0x80, 0x80, 0x80, 0x80, 0x10, 0x00, 0x00};
   EXPECT_THROW(proto::decode_clc_metas(wide), CheckFailure);
+}
+
+TEST(GcWire, RejectsSnDeltaOutOfRange) {
+  // An adversarial SN-delta varint used to wrap the SeqNum accumulator
+  // silently (prev_sn += truncates) while the DDV entries on the lines
+  // below were range-checked; it must be rejected the same way.
+  // count=1, width=1, sn_delta=2^32 (one past the SeqNum range), 0 changes.
+  proto::EncodedClcMetas wrap;
+  wrap.bytes = {0x01, 0x01, 0x80, 0x80, 0x80, 0x80, 0x10, 0x00};
+  EXPECT_THROW(proto::decode_clc_metas(wrap), CheckFailure);
+  // Accumulated wrap: first record lands exactly on the SeqNum maximum,
+  // the second record's +1 delta pushes past it.
+  proto::EncodedClcMetas accum;
+  accum.bytes = {0x02, 0x01,
+                 0xff, 0xff, 0xff, 0xff, 0x0f, 0x00,  // sn = 2^32-1, 0 changes
+                 0x01, 0x00};                          // +1 overflows
+  EXPECT_THROW(proto::decode_clc_metas(accum), CheckFailure);
+  // The boundary itself is legal: a single record at the SeqNum maximum
+  // decodes (delta == max - 0 is in range).
+  proto::EncodedClcMetas edge;
+  edge.bytes = {0x01, 0x01, 0xff, 0xff, 0xff, 0xff, 0x0f, 0x00};
+  const auto decoded = proto::decode_clc_metas(edge);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0].sn, std::numeric_limits<SeqNum>::max());
 }
 
 // ---------------------------------------------------------------------------
