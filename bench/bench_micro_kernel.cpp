@@ -22,6 +22,15 @@
 //               plane are required to keep that growth sub-quadratic in
 //               the cluster count (docs/scaling.md): doubling the clusters
 //               must report a heap-growth factor well under 4.
+//   scale_fed_faulty — the same scale-out regime under the fixed reference
+//               fault campaign (fault::reference_scale_campaign: scripted
+//               kill, correlated burst, per-cluster MTBF stream, repeat
+//               offender, commit-targeted trigger), also at 5 and 10
+//               clusters.  Reports events/s and allocs/event under fault
+//               load plus the recovery-cost numbers the CIC literature
+//               compares protocols by: rollback-alert fanout, cluster/node
+//               rollbacks, replayed messages/bytes and mean recovery
+//               latency per cluster count.
 //
 // Each kernel also reports an allocations-per-op proxy: the bench overrides
 // global operator new/delete with counting shims, so the steady-state heap
@@ -98,6 +107,7 @@ void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); 
 
 #include "config/presets.hpp"
 #include "driver/run.hpp"
+#include "fault/campaign.hpp"
 #include "net/network.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulation.hpp"
@@ -265,6 +275,50 @@ KernelResult bench_scale_fed(std::uint64_t seed, std::size_t clusters) {
                       g_alloc_bytes - bytes0};
 }
 
+/// Recovery-cost aggregates of a faulty run (summed across seeds).
+struct FaultStats {
+  std::uint64_t injected{0};
+  std::uint64_t rollbacks{0};
+  std::uint64_t nodes_rolled_back{0};
+  std::uint64_t alert_fanout{0};
+  std::uint64_t replayed_msgs{0};
+  std::uint64_t replayed_bytes{0};
+  double latency_sum_s{0.0};
+  std::uint64_t latency_count{0};
+  double mean_latency_s() const {
+    return latency_count > 0 ? latency_sum_s / static_cast<double>(latency_count)
+                             : 0.0;
+  }
+};
+
+/// The scale-out kernel under the fixed reference fault campaign: same
+/// topology/traffic as scale_fed, plus scripted kill + burst + MTBF stream
+/// + repeat offender + commit-targeted trigger.  `out` accumulates the
+/// recovery-cost counters next to the rate.
+KernelResult bench_scale_fed_faulty(std::uint64_t seed, std::size_t clusters,
+                                    FaultStats* out) {
+  driver::RunOptions opts;
+  opts.spec = config::scale_federation_spec(clusters, 100, minutes(10));
+  opts.campaign = fault::reference_scale_campaign(clusters, 100, minutes(10));
+  opts.seed = seed;
+  const double t0 = now_sec();
+  const std::uint64_t allocs0 = g_allocs;
+  const std::uint64_t bytes0 = g_alloc_bytes;
+  const auto result = driver::run_simulation(opts);
+  const double elapsed = now_sec() - t0;
+  out->injected += result.counter("fault.injected");
+  out->rollbacks += result.counter("rollback.count");
+  out->nodes_rolled_back += result.counter("rollback.nodes");
+  out->alert_fanout += result.counter("rollback.alerts");
+  out->replayed_msgs += result.counter("log.resent_msgs");
+  out->replayed_bytes += result.counter("log.resent_bytes");
+  const auto& latency = result.registry.summary("fault.recovery_latency_s");
+  out->latency_sum_s += latency.sum();
+  out->latency_count += latency.count();
+  return KernelResult{result.events_executed, elapsed, g_allocs - allocs0,
+                      g_alloc_bytes - bytes0};
+}
+
 void dump_counters() {
   driver::RunOptions opts;
   opts.spec = config::small_test_spec(2, 8);
@@ -301,6 +355,8 @@ int main(int argc, char** argv) {
   const auto msg_ops = static_cast<std::uint64_t>(400'000 * scale);
 
   KernelResult events, msgs, msgs_ddv, whole, scale_half, scale_full;
+  KernelResult faulty_half, faulty_full;
+  FaultStats faults_half, faults_full;
   const auto fold = [](KernelResult& acc, const KernelResult& r) {
     acc.ops += r.ops;
     acc.elapsed_sec += r.elapsed_sec;
@@ -314,6 +370,8 @@ int main(int argc, char** argv) {
     fold(whole, bench_whole_sim(s));
     fold(scale_half, bench_scale_fed(s, 5));
     fold(scale_full, bench_scale_fed(s, 10));
+    fold(faulty_half, bench_scale_fed_faulty(s, 5, &faults_half));
+    fold(faulty_full, bench_scale_fed_faulty(s, 10, &faults_full));
   }
   // 5 -> 10 clusters doubles the federation; linear cost doubles the heap
   // traffic, a clusters² term quadruples it.  This ratio is the scale
@@ -337,6 +395,25 @@ int main(int argc, char** argv) {
               scale_full.rate(), scale_full.allocs_per_op());
   std::printf("scale heap: %12.2fx bytes going 5 -> 10 clusters "
               "(sub-quadratic < 4)\n", heap_growth);
+  std::printf("faulty    : %12.0f events/sec  (%.4f allocs/event, 10x100 "
+              "under the reference campaign)\n",
+              faulty_full.rate(), faulty_full.allocs_per_op());
+  std::printf("  5c: %llu faults, %llu rollbacks (%llu nodes), fanout %llu, "
+              "replay %llu msgs, latency %.3f s\n",
+              static_cast<unsigned long long>(faults_half.injected),
+              static_cast<unsigned long long>(faults_half.rollbacks),
+              static_cast<unsigned long long>(faults_half.nodes_rolled_back),
+              static_cast<unsigned long long>(faults_half.alert_fanout),
+              static_cast<unsigned long long>(faults_half.replayed_msgs),
+              faults_half.mean_latency_s());
+  std::printf(" 10c: %llu faults, %llu rollbacks (%llu nodes), fanout %llu, "
+              "replay %llu msgs, latency %.3f s\n",
+              static_cast<unsigned long long>(faults_full.injected),
+              static_cast<unsigned long long>(faults_full.rollbacks),
+              static_cast<unsigned long long>(faults_full.nodes_rolled_back),
+              static_cast<unsigned long long>(faults_full.alert_fanout),
+              static_cast<unsigned long long>(faults_full.replayed_msgs),
+              faults_full.mean_latency_s());
   std::printf("peak RSS  : %ld KB\n", peak_rss_kb());
 
   std::FILE* f = std::fopen(out.c_str(), "w");
@@ -353,6 +430,22 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(r.allocs), r.allocs_per_op(),
                  trailer);
   };
+  const auto fault_json = [f](const char* name, const FaultStats& fs,
+                              const char* trailer) {
+    std::fprintf(
+        f,
+        "    \"%s\": {\"injected\": %llu, \"rollbacks\": %llu, "
+        "\"nodes_rolled_back\": %llu, \"alert_fanout\": %llu, "
+        "\"replayed_msgs\": %llu, \"replayed_bytes\": %llu, "
+        "\"mean_recovery_latency_s\": %.6f}%s\n",
+        name, static_cast<unsigned long long>(fs.injected),
+        static_cast<unsigned long long>(fs.rollbacks),
+        static_cast<unsigned long long>(fs.nodes_rolled_back),
+        static_cast<unsigned long long>(fs.alert_fanout),
+        static_cast<unsigned long long>(fs.replayed_msgs),
+        static_cast<unsigned long long>(fs.replayed_bytes),
+        fs.mean_latency_s(), trailer);
+  };
   std::fprintf(f,
                "{\n"
                "  \"seeds\": %llu,\n"
@@ -361,6 +454,8 @@ int main(int argc, char** argv) {
                "  \"msgs_ddv_per_sec\": %.1f,\n"
                "  \"whole_sim_events_per_sec\": %.1f,\n"
                "  \"scale_fed_events_per_sec\": %.1f,\n"
+               "  \"scale_fed_faulty_events_per_sec\": %.1f,\n"
+               "  \"scale_fed_faulty_allocs_per_op\": %.6f,\n"
                "  \"msgs_allocs_per_op\": %.6f,\n"
                "  \"msgs_ddv_allocs_per_op\": %.6f,\n"
                "  \"events_allocs_per_op\": %.6f,\n"
@@ -368,19 +463,26 @@ int main(int argc, char** argv) {
                "  \"scale_fed_heap_bytes_10c\": %llu,\n"
                "  \"scale_fed_heap_growth\": %.4f,\n"
                "  \"peak_rss_kb\": %ld,\n"
-               "  \"kernels\": {\n",
+               "  \"fault_campaign\": {\n",
                static_cast<unsigned long long>(seeds), events.rate(),
                msgs.rate(), msgs_ddv.rate(), whole.rate(), scale_full.rate(),
+               faulty_full.rate(), faulty_full.allocs_per_op(),
                msgs.allocs_per_op(), msgs_ddv.allocs_per_op(),
                events.allocs_per_op(),
                static_cast<unsigned long long>(scale_half.alloc_bytes),
                static_cast<unsigned long long>(scale_full.alloc_bytes),
                heap_growth, peak_rss_kb());
+  fault_json("clusters_5", faults_half, ",");
+  fault_json("clusters_10", faults_full, "");
+  std::fprintf(f,
+               "  },\n"
+               "  \"kernels\": {\n");
   kernel_json("events", events, ",");
   kernel_json("msgs", msgs, ",");
   kernel_json("msgs_ddv", msgs_ddv, ",");
   kernel_json("whole_sim", whole, ",");
-  kernel_json("scale_fed", scale_full, "");
+  kernel_json("scale_fed", scale_full, ",");
+  kernel_json("scale_fed_faulty", faulty_full, "");
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out.c_str());

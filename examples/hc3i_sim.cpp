@@ -4,7 +4,12 @@
 //
 //   ./hc3i_sim <topology.conf> <application.conf> <timers.conf>
 //              [--seed=1] [--protocol=hc3i|independent|global|hier|pessimistic]
-//              [--failures] [--trace=stats|protocol|action] [--csv]
+//              [--failures] [--campaign=<campaign.conf>]
+//              [--trace=stats|protocol|action] [--csv]
+//
+// --campaign loads a declarative fault plan (see config/parser.hpp for the
+// file format); the run report then includes the per-incident recovery
+// telemetry table.
 //
 // Prints the end-of-run statistics block (the simulator's "lowest output",
 // per the paper); --trace=action shows "each node time-stamped action".
@@ -51,7 +56,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: hc3i_sim <topology.conf> <application.conf> "
                  "<timers.conf> [--seed=N] [--protocol=...] [--failures] "
-                 "[--trace=...] [--csv]\n");
+                 "[--campaign=<file>] [--trace=...] [--csv]\n");
     return 2;
   }
   try {
@@ -64,6 +69,11 @@ int main(int argc, char** argv) {
     opts.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
     opts.protocol = parse_protocol(flags.get("protocol", "hc3i"));
     opts.auto_failures = flags.get_bool("failures", false);
+    const std::string campaign_path = flags.get("campaign", "");
+    if (!campaign_path.empty()) {
+      opts.campaign = config::parse_campaign(
+          config::read_file(campaign_path), opts.spec.topology, campaign_path);
+    }
     opts.validate = false;  // report violations instead of throwing
 
     const driver::RunResult result = driver::run_simulation(opts);

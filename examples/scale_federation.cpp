@@ -16,6 +16,11 @@
 //   ./scale_federation --dump-counters         # fixed-seed repro dump (CI
 //                                              #   diffs it against
 //                                              #   bench/golden_counters_scale.txt)
+//   ./scale_federation --faulty [--sweep=...]  # same scenario under the fixed
+//                                              #   reference fault campaign;
+//                                              #   with --dump-counters CI
+//                                              #   diffs it against
+//                                              #   bench/golden_counters_scale_faulty.txt
 
 #include <chrono>
 #include <cstdio>
@@ -24,6 +29,7 @@
 
 #include "config/presets.hpp"
 #include "driver/run.hpp"
+#include "fault/campaign.hpp"
 #include "util/flags.hpp"
 #include "util/quantity.hpp"
 
@@ -69,9 +75,12 @@ struct RowStats {
 };
 
 RowStats run_one(std::size_t clusters, std::uint32_t nodes, SimTime total,
-                 std::uint64_t seed) {
+                 std::uint64_t seed, bool faulty) {
   driver::RunOptions opts;
   opts.spec = config::scale_federation_spec(clusters, nodes, total);
+  if (faulty) {
+    opts.campaign = fault::reference_scale_campaign(clusters, nodes, total);
+  }
   opts.seed = seed;
   const double t0 = now_sec();
   const driver::RunResult result = driver::run_simulation(opts);
@@ -91,9 +100,12 @@ RowStats run_one(std::size_t clusters, std::uint32_t nodes, SimTime total,
   return row;
 }
 
-void dump_counters(std::uint32_t nodes) {
+void dump_counters(std::uint32_t nodes, bool faulty) {
   driver::RunOptions opts;
   opts.spec = config::scale_federation_spec(10, nodes, minutes(30));
+  if (faulty) {
+    opts.campaign = fault::reference_scale_campaign(10, nodes, minutes(30));
+  }
   opts.seed = 1;
   const driver::RunResult result = driver::run_simulation(opts);
   std::fputs(result.registry.dump().c_str(), stdout);
@@ -105,17 +117,19 @@ int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   for (const std::string& name : flags.names()) {
     if (name != "clusters" && name != "nodes" && name != "seed" &&
-        name != "minutes" && name != "sweep" && name != "dump-counters") {
+        name != "minutes" && name != "sweep" && name != "dump-counters" &&
+        name != "faulty") {
       std::fprintf(stderr,
                    "unknown flag --%s (known: --clusters --nodes --seed "
-                   "--minutes --sweep --dump-counters)\n",
+                   "--minutes --sweep --dump-counters --faulty)\n",
                    name.c_str());
       return 2;
     }
   }
   const auto nodes = static_cast<std::uint32_t>(flags.get_int("nodes", 100));
+  const bool faulty = flags.get_bool("faulty", false);
   if (flags.get_bool("dump-counters", false)) {
-    dump_counters(nodes);
+    dump_counters(nodes, faulty);
     return 0;
   }
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
@@ -132,13 +146,14 @@ int main(int argc, char** argv) {
   }
 
   std::printf("scale-out federation — %u nodes/cluster, %s simulated, "
-              "ring traffic, CLC timer 5min, GC 10min\n\n",
-              nodes, to_string(total).c_str());
+              "ring traffic, CLC timer 5min, GC 10min%s\n\n",
+              nodes, to_string(total).c_str(),
+              faulty ? ", reference fault campaign" : "");
   std::printf("%9s %7s %10s %9s %12s %10s %12s %12s\n", "clusters", "nodes",
               "events", "wall_s", "events/s", "pairs", "max_clcs",
               "gc_saved_B");
   for (const std::size_t c : sweep) {
-    const RowStats row = run_one(c, nodes, total, seed);
+    const RowStats row = run_one(c, nodes, total, seed, faulty);
     std::printf("%9zu %7u %10llu %9.2f %12.0f %10zu %12llu %12llu\n", c,
                 c * nodes, static_cast<unsigned long long>(row.events),
                 row.wall_sec,

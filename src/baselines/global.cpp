@@ -335,6 +335,8 @@ void GlobalAgent::global_rollback(bool fault_origin, ClusterId fault_cluster) {
     HC3I_CHECK(rec.sn == target_sn, "global stores out of sync");
     ctx_.ledger->undo_after(cid, rec.ledger_mark);
     named_stat(stat_rollback_count_, "rollback.count").inc();
+    named_stat(stat_rollback_nodes_, "rollback.nodes")
+        .inc(ctx_.topology->cluster_size(cid));
     named_summary(stat_rollback_depth_, "rollback.depth_clcs")
         .add(static_cast<double>(sn_ - rec.sn));
     const std::uint32_t base = ctx_.topology->first_node(cid).v;

@@ -85,6 +85,7 @@ class GlobalAgent final : public proto::AgentBase {
   stats::Counter* stat_stale_dropped_{nullptr};
   stats::Counter* stat_rollback_faults_{nullptr};
   stats::Counter* stat_rollback_count_{nullptr};
+  stats::Counter* stat_rollback_nodes_{nullptr};
   stats::Summary* stat_freeze_{nullptr};
   stats::Summary* stat_rollback_depth_{nullptr};
   stats::Summary* stat_lost_work_{nullptr};

@@ -95,6 +95,7 @@ void PessimisticAgent::on_failure_detected(NodeId failed) {
   // message-logging family.
   ctx_.registry->inc("rollback.faults");
   ctx_.registry->inc("rollback.count");
+  ctx_.registry->inc("rollback.nodes");  // node-scope rollback
   PessimisticAgent* victim = rt_.agents()[failed.v];
   victim->restore_failed_node();
 }

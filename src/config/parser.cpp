@@ -225,6 +225,84 @@ ApplicationSpec parse_application(std::string_view text,
   return app;
 }
 
+fault::Campaign parse_campaign(std::string_view text, const TopologySpec& topo,
+                               const std::string& origin) {
+  fault::Campaign plan;
+  const auto opt_duration = [&origin](const Section& sec, const std::string& key,
+                                      SimTime def) {
+    if (sec.values.count(key) == 0) return def;
+    const auto v = parse_duration(sec.values.at(key));
+    if (!v) fail(origin, sec.line, "bad duration for '" + key + "'");
+    return *v;
+  };
+  const auto opt_uint = [&origin](const Section& sec, const std::string& key,
+                                  std::uint64_t def) {
+    if (sec.values.count(key) == 0) return def;
+    const auto v = parse_uint(sec.values.at(key));
+    if (!v) fail(origin, sec.line, "bad integer for '" + key + "'");
+    return *v;
+  };
+  for (const auto& sec : parse_sections(text, origin)) {
+    if (sec.name == "kill") {
+      fault::KillSpec k;
+      k.at = need_duration(sec, "at", origin);
+      k.victim = NodeId{static_cast<std::uint32_t>(need_uint(sec, "node", origin))};
+      plan.kills.push_back(k);
+    } else if (sec.name == "stream") {
+      fault::StreamSpec s;
+      s.mtbf = need_duration(sec, "mtbf", origin);
+      if (sec.values.count("cluster")) {
+        s.cluster = ClusterId{
+            static_cast<std::uint32_t>(opt_uint(sec, "cluster", 0))};
+      }
+      s.start = opt_duration(sec, "start", SimTime::zero());
+      s.stop = opt_duration(sec, "stop", SimTime::infinity());
+      plan.streams.push_back(s);
+    } else if (sec.name == "burst") {
+      fault::BurstSpec b;
+      b.cluster = ClusterId{
+          static_cast<std::uint32_t>(need_uint(sec, "cluster", origin))};
+      b.kills = static_cast<std::uint32_t>(need_uint(sec, "kills", origin));
+      b.at = need_duration(sec, "at", origin);
+      b.window = need_duration(sec, "window", origin);
+      b.first_victim =
+          static_cast<std::uint32_t>(opt_uint(sec, "first_victim", 0));
+      plan.bursts.push_back(b);
+    } else if (sec.name == "repeat") {
+      fault::RepeatSpec r;
+      r.victim = NodeId{static_cast<std::uint32_t>(need_uint(sec, "node", origin))};
+      r.times = static_cast<std::uint32_t>(need_uint(sec, "times", origin));
+      r.first = need_duration(sec, "first", origin);
+      r.gap = opt_duration(sec, "gap", SimTime::zero());
+      plan.repeats.push_back(r);
+    } else if (sec.name == "phase_trigger") {
+      fault::PhaseTriggerSpec t;
+      t.cluster = ClusterId{
+          static_cast<std::uint32_t>(need_uint(sec, "cluster", origin))};
+      const auto phase = fault::parse_phase(need(sec, "phase", origin));
+      if (!phase) {
+        fail(origin, sec.line,
+             "bad phase '" + sec.values.at("phase") +
+                 "' (known: phase1_acks, commit)");
+      }
+      t.phase = *phase;
+      t.victim = NodeId{static_cast<std::uint32_t>(need_uint(sec, "node", origin))};
+      t.after_acks = static_cast<std::uint32_t>(opt_uint(sec, "after_acks", 1));
+      t.occurrence = static_cast<std::uint32_t>(opt_uint(sec, "occurrence", 1));
+      t.not_before = opt_duration(sec, "not_before", SimTime::zero());
+      plan.phase_triggers.push_back(t);
+    } else {
+      fail(origin, sec.line, "unknown section [" + sec.name + "] in campaign");
+    }
+  }
+  try {
+    plan.validate(topo);
+  } catch (const CheckFailure& e) {
+    throw ParseError(origin + ": " + e.what());
+  }
+  return plan;
+}
+
 TimersSpec parse_timers(std::string_view text, const TopologySpec& topo,
                         const std::string& origin) {
   TimersSpec timers;

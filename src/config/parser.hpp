@@ -22,6 +22,15 @@
 //   [timers]              gc_period = 2h    detection_delay = 100ms
 //   [cluster 0]           clc_period = 30min
 //
+// Campaign file (optional fourth file: the declarative fault plan of
+// src/fault/campaign.hpp; one section per injector, repeatable):
+//   [kill]                at = 6min       node = 130
+//   [stream]              mtbf = 8min     cluster = 0   start = 5min  stop = 25min
+//   [burst]               cluster = 2     kills = 3     at = 12min    window = 2min
+//   [repeat]              node = 7        times = 3     first = 10min gap = 6min
+//   [phase_trigger]       cluster = 0     phase = phase1_acks   after_acks = 1
+//                         occurrence = 2  node = 2      not_before = 1min
+//
 // parse_* functions throw ParseError with file/line context on any problem.
 
 #include <cstdint>
@@ -32,6 +41,7 @@
 #include <vector>
 
 #include "config/spec.hpp"
+#include "fault/campaign.hpp"
 
 namespace hc3i::config {
 
@@ -65,6 +75,12 @@ ApplicationSpec parse_application(std::string_view text,
 /// Parse a timers file; requires the topology for cross-validation.
 TimersSpec parse_timers(std::string_view text, const TopologySpec& topo,
                         const std::string& origin = "<timers>");
+
+/// Parse a fault-campaign file; requires the topology for cross-validation
+/// (victim nodes and clusters must exist).  Injector sections may repeat;
+/// order within each kind is preserved.
+fault::Campaign parse_campaign(std::string_view text, const TopologySpec& topo,
+                               const std::string& origin = "<campaign>");
 
 /// Load all three files from disk and validate the combination.
 RunSpec load_run_spec(const std::string& topology_path,

@@ -111,6 +111,48 @@ std::string write_application(const ApplicationSpec& app) {
   return os.str();
 }
 
+std::string write_campaign(const fault::Campaign& plan) {
+  std::ostringstream os;
+  os << "# HC3I fault campaign file\n";
+  for (const auto& k : plan.kills) {
+    os << "\n[kill]\n";
+    os << "at = " << duration_text(k.at) << "\n";
+    os << "node = " << k.victim.v << "\n";
+  }
+  for (const auto& s : plan.streams) {
+    os << "\n[stream]\n";
+    os << "mtbf = " << duration_text(s.mtbf) << "\n";
+    if (s.cluster) os << "cluster = " << s.cluster->v << "\n";
+    os << "start = " << duration_text(s.start) << "\n";
+    os << "stop = " << duration_text(s.stop) << "\n";
+  }
+  for (const auto& b : plan.bursts) {
+    os << "\n[burst]\n";
+    os << "cluster = " << b.cluster.v << "\n";
+    os << "kills = " << b.kills << "\n";
+    os << "at = " << duration_text(b.at) << "\n";
+    os << "window = " << duration_text(b.window) << "\n";
+    os << "first_victim = " << b.first_victim << "\n";
+  }
+  for (const auto& r : plan.repeats) {
+    os << "\n[repeat]\n";
+    os << "node = " << r.victim.v << "\n";
+    os << "times = " << r.times << "\n";
+    os << "first = " << duration_text(r.first) << "\n";
+    os << "gap = " << duration_text(r.gap) << "\n";
+  }
+  for (const auto& t : plan.phase_triggers) {
+    os << "\n[phase_trigger]\n";
+    os << "cluster = " << t.cluster.v << "\n";
+    os << "phase = " << fault::to_string(t.phase) << "\n";
+    os << "node = " << t.victim.v << "\n";
+    os << "after_acks = " << t.after_acks << "\n";
+    os << "occurrence = " << t.occurrence << "\n";
+    os << "not_before = " << duration_text(t.not_before) << "\n";
+  }
+  return os.str();
+}
+
 std::string write_timers(const TimersSpec& timers) {
   std::ostringstream os;
   os << "# HC3I timers file\n";

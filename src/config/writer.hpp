@@ -8,6 +8,7 @@
 #include <string>
 
 #include "config/spec.hpp"
+#include "fault/campaign.hpp"
 
 namespace hc3i::config {
 
@@ -19,6 +20,9 @@ std::string write_application(const ApplicationSpec& app);
 
 /// Render a timers file.
 std::string write_timers(const TimersSpec& timers);
+
+/// Render a fault-campaign file (parse_campaign round-trips it).
+std::string write_campaign(const fault::Campaign& plan);
 
 /// Render a duration in the most compact exact unit ("30min", "150us",
 /// "inf"). Output is re-parseable by parse_duration.

@@ -59,17 +59,54 @@ std::string render_report(const RunResult& result, std::size_t clusters) {
   }
 
   os << "\n== fault tolerance ==\n";
-  os << "failures injected        : " << result.counter("fault.injected") << "\n";
-  os << "cluster rollbacks        : " << result.counter("rollback.count") << "\n";
+  os << "failures injected        : " << result.counter("fault.injected")
+     << " (skipped mid-recovery: " << result.counter("fault.skipped_overlap")
+     << ", deferred: " << result.counter("fault.deferred")
+     << ", dropped at quiesce bound: "
+     << result.counter("fault.skipped_quiesce") << ")\n";
+  os << "cluster rollbacks        : " << result.counter("rollback.count")
+     << " (" << result.counter("rollback.nodes") << " node restores)\n";
   os << "rollback alerts          : " << result.counter("rollback.alerts") << "\n";
-  os << "logged messages re-sent  : " << result.counter("log.resent_msgs") << "\n";
+  os << "logged messages re-sent  : " << result.counter("log.resent_msgs")
+     << " (" << format_bytes(result.counter("log.resent_bytes")) << ")\n";
   os << "stale messages discarded : " << result.counter("cic.stale_dropped") << "\n";
   os << "duplicates suppressed    : " << result.counter("cic.dup_dropped") << "\n";
   const auto& lost = result.registry.summary("rollback.lost_work_s");
   os << "work lost to rollbacks   : " << lost.sum() << " node-seconds over "
      << lost.count() << " node restores\n";
+  const auto& latency = result.registry.summary("fault.recovery_latency_s");
+  if (latency.count() > 0) {
+    os << "recovery latency         : " << latency.mean() << " s mean, "
+       << latency.max() << " s max over " << latency.count()
+       << " recoveries\n";
+  }
   os << "GC rounds                : " << result.counter("gc.rounds")
      << " (aborted: " << result.counter("gc.aborted") << ")\n";
+
+  if (!result.incidents.empty()) {
+    os << "\n== fault incidents (recovery telemetry) ==\n";
+    stats::Table t({"#", "injected", "node", "cluster", "source", "latency",
+                    "rollbacks", "nodes", "alerts", "replay msgs",
+                    "replay bytes", "lost work (s)", "undone"});
+    for (const fault::Incident& inc : result.incidents) {
+      t.row()
+          .cell(static_cast<std::uint64_t>(inc.id))
+          .cell(to_string(inc.injected_at))
+          .cell("n" + std::to_string(inc.victim.v))
+          .cell("C" + std::to_string(inc.cluster.v))
+          .cell(std::string(inc.source))
+          .cell(inc.recovery_complete ? to_string(inc.recovery_latency())
+                                      : std::string("incomplete"))
+          .cell(inc.rollbacks)
+          .cell(inc.nodes_rolled_back)
+          .cell(inc.alert_fanout)
+          .cell(inc.replayed_msgs)
+          .cell(format_bytes(inc.replayed_bytes))
+          .cell(inc.lost_work_s, 1)
+          .cell(inc.events_undone);
+    }
+    os << t.to_ascii();
+  }
 
   if (!result.gc_events.empty()) {
     os << "\n== garbage collection (stored CLCs before -> after) ==\n";

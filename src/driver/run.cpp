@@ -4,6 +4,7 @@
 #include "baselines/independent.hpp"
 #include "baselines/pessimistic.hpp"
 #include "driver/consistency.hpp"
+#include "fault/engine.hpp"
 #include "fed/federation.hpp"
 #include "hc3i/agent.hpp"
 #include "util/log.hpp"
@@ -103,8 +104,11 @@ RunResult run_simulation(const RunOptions& opts) {
     // Message-logging recovery re-executes the victim's lost work in
     // simulated time (up to one checkpoint period).  A failure without
     // enough runway before the horizon leaves the replay unfinished and
-    // the victim's pre-failure sends would validate as ghosts, so the
+    // the victim's pre-failure sends would validate as ghosts, so every
     // injector quiesces early (documented in baselines/pessimistic.hpp).
+    // The campaign engine enforces the same bound on scripted kills: a
+    // script landing inside the margin is rejected with a CheckFailure
+    // instead of producing ghost-send violations blamed on the protocol.
     SimTime max_period = SimTime::zero();
     for (const auto& t : o.spec.timers.clusters) {
       if (!t.clc_period.is_infinite()) {
@@ -114,18 +118,35 @@ RunResult run_simulation(const RunOptions& opts) {
     const SimTime margin = max_period + minutes(10);
     failure_bound = horizon > margin ? horizon - margin : SimTime::zero();
   }
-  if (o.auto_failures) fed.enable_failures(failure_bound);
-  for (const ScriptedFailure& f : o.scripted_failures) {
-    sim.schedule_at(f.at, [&fed, f] {
-      if (fed.recovery_pending()) {
-        fed.registry().inc("fault.skipped_overlap");
-        return;
-      }
-      fed.inject_failure(f.victim);
-    });
+
+  // Fold the legacy fields into the campaign (shims: same semantics, same
+  // RNG streams, byte-identical runs).  auto_failures becomes stream index
+  // 0 — the slot whose derived RNG id matches the pre-campaign injector —
+  // and scripted failures become front-of-list one-shot kills.
+  fault::Campaign plan = o.campaign;
+  if (o.auto_failures && !o.spec.topology.mtbf.is_infinite()) {
+    fault::StreamSpec mtbf_stream;
+    mtbf_stream.mtbf = o.spec.topology.mtbf;
+    mtbf_stream.stop = failure_bound;
+    plan.streams.insert(plan.streams.begin(), mtbf_stream);
+  }
+  if (!o.scripted_failures.empty()) {
+    std::vector<fault::KillSpec> legacy;
+    legacy.reserve(o.scripted_failures.size());
+    for (const ScriptedFailure& f : o.scripted_failures) {
+      legacy.push_back(fault::KillSpec{f.at, f.victim});
+    }
+    plan.kills.insert(plan.kills.begin(), legacy.begin(), legacy.end());
+  }
+  std::unique_ptr<fault::CampaignEngine> engine;
+  if (!plan.empty()) {
+    engine = std::make_unique<fault::CampaignEngine>(
+        fed, hc3i_rt.get(), std::move(plan), failure_bound);
+    engine->arm();
   }
 
   sim.run_until(horizon + o.drain);
+  if (engine) engine->finalize();
 
   RunResult result;
   result.violations = fed.ledger().validate(/*allow_in_flight=*/false);
@@ -142,6 +163,7 @@ RunResult run_simulation(const RunOptions& opts) {
   }
   registry.set("ledger.undone_events", fed.ledger().undone_events());
   registry.set("ledger.total_events", fed.ledger().total_events());
+  if (engine) result.incidents = engine->telemetry().take_incidents();
   result.registry = registry;
   result.end_time = sim.now();
   result.events_executed = sim.events_executed();

@@ -14,6 +14,8 @@
 
 #include "config/spec.hpp"
 #include "app/workload.hpp"
+#include "fault/campaign.hpp"
+#include "fault/telemetry.hpp"
 #include "hc3i/options.hpp"
 #include "hc3i/runtime.hpp"
 #include "stats/registry.hpp"
@@ -34,7 +36,9 @@ enum class ProtocolKind {
 /// Human-readable protocol name.
 std::string to_string(ProtocolKind kind);
 
-/// A failure to inject at a fixed simulated time.
+/// A failure to inject at a fixed simulated time.  Legacy shim: folded into
+/// the campaign as a `fault::KillSpec` at run time (same semantics, byte-
+/// identical runs); new call sites should populate `RunOptions::campaign`.
 struct ScriptedFailure {
   SimTime at{};
   NodeId victim{};
@@ -46,9 +50,15 @@ struct RunOptions {
   std::uint64_t seed{1};
   ProtocolKind protocol{ProtocolKind::kHc3i};
   core::Hc3iOptions hc3i{};
-  /// Inject random failures per the topology MTBF.
+  /// Declarative fault plan (scripted kills, MTBF streams, correlated
+  /// bursts, repeat offenders, phase-targeted triggers); compiled by the
+  /// fault::CampaignEngine, measured by fault::RecoveryTelemetry.
+  fault::Campaign campaign;
+  /// Legacy shim: inject random failures per the topology MTBF.  Folded
+  /// into the campaign as a federation-wide `fault::StreamSpec` (same RNG
+  /// stream, draw-for-draw identical to the pre-campaign injector).
   bool auto_failures{false};
-  /// Deterministic failure script (used by tests and the recovery benches).
+  /// Legacy shim: deterministic failure script (see ScriptedFailure).
   std::vector<ScriptedFailure> scripted_failures;
   /// Extra simulated time after the application horizon for messages,
   /// forced CLCs and recoveries to settle before strict validation.
@@ -63,6 +73,9 @@ struct RunOptions {
 struct RunResult {
   stats::Registry registry;
   std::vector<core::GcEvent> gc_events;
+  /// Per-injection recovery cost records (empty for failure-free runs);
+  /// rendered as a table by driver/report.
+  std::vector<fault::Incident> incidents;
   std::vector<std::string> violations;
   SimTime end_time{};
   std::uint64_t events_executed{0};

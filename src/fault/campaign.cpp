@@ -1,0 +1,133 @@
+#include "fault/campaign.hpp"
+
+#include <string>
+
+#include "util/check.hpp"
+
+namespace hc3i::fault {
+
+namespace {
+
+void check_node(NodeId n, const config::TopologySpec& topo, const char* what) {
+  HC3I_CHECK(n.v < topo.total_nodes(),
+             std::string(what) + ": victim node " + std::to_string(n.v) +
+                 " out of range (federation has " +
+                 std::to_string(topo.total_nodes()) + " nodes)");
+}
+
+void check_cluster(ClusterId c, const config::TopologySpec& topo,
+                   const char* what) {
+  HC3I_CHECK(c.v < topo.cluster_count(),
+             std::string(what) + ": cluster " + std::to_string(c.v) +
+                 " out of range (federation has " +
+                 std::to_string(topo.cluster_count()) + " clusters)");
+}
+
+}  // namespace
+
+void Campaign::validate(const config::TopologySpec& topo) const {
+  for (const KillSpec& k : kills) {
+    check_node(k.victim, topo, "campaign [kill]");
+    HC3I_CHECK(!k.at.is_infinite(), "campaign [kill]: 'at' must be finite");
+  }
+  for (const StreamSpec& s : streams) {
+    if (s.cluster) check_cluster(*s.cluster, topo, "campaign [stream]");
+    HC3I_CHECK(s.mtbf.ns > 0 && !s.mtbf.is_infinite(),
+               "campaign [stream]: mtbf must be positive and finite");
+    HC3I_CHECK(s.start <= s.stop,
+               "campaign [stream]: start must not exceed stop");
+  }
+  for (const BurstSpec& b : bursts) {
+    check_cluster(b.cluster, topo, "campaign [burst]");
+    HC3I_CHECK(b.kills >= 1, "campaign [burst]: kills must be >= 1");
+    const std::uint32_t size = topo.clusters[b.cluster.v].nodes;
+    HC3I_CHECK(b.first_victim < size,
+               "campaign [burst]: first_victim out of cluster range");
+    HC3I_CHECK(b.kills <= size,
+               "campaign [burst]: kills " + std::to_string(b.kills) +
+                   " exceeds cluster size " + std::to_string(size));
+    HC3I_CHECK(!b.at.is_infinite() && !b.window.is_infinite(),
+               "campaign [burst]: at/window must be finite");
+  }
+  for (const RepeatSpec& r : repeats) {
+    check_node(r.victim, topo, "campaign [repeat]");
+    HC3I_CHECK(r.times >= 1, "campaign [repeat]: times must be >= 1");
+    HC3I_CHECK(!r.first.is_infinite(),
+               "campaign [repeat]: 'first' must be finite");
+    HC3I_CHECK(r.times == 1 || (r.gap.ns > 0 && !r.gap.is_infinite()),
+               "campaign [repeat]: gap must be positive for times > 1");
+  }
+  for (const PhaseTriggerSpec& t : phase_triggers) {
+    check_cluster(t.cluster, topo, "campaign [phase_trigger]");
+    check_node(t.victim, topo, "campaign [phase_trigger]");
+    HC3I_CHECK(t.after_acks >= 1,
+               "campaign [phase_trigger]: after_acks must be >= 1");
+    if (t.phase == Phase::kPhase1Acks) {
+      // The commit runs synchronously once the last ack is recorded, so a
+      // kill "between phase-1 acks and commit" needs after_acks strictly
+      // below the cluster size; a larger value would never match at all.
+      HC3I_CHECK(t.after_acks < topo.clusters[t.cluster.v].nodes,
+                 "campaign [phase_trigger]: after_acks " +
+                     std::to_string(t.after_acks) +
+                     " must be below the cluster size " +
+                     std::to_string(topo.clusters[t.cluster.v].nodes) +
+                     " for the ack/commit window to exist");
+    }
+    HC3I_CHECK(t.occurrence >= 1,
+               "campaign [phase_trigger]: occurrence must be >= 1");
+  }
+}
+
+const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::kPhase1Acks:
+      return "phase1_acks";
+    case Phase::kCommit:
+      return "commit";
+  }
+  HC3I_UNREACHABLE("bad fault::Phase");
+}
+
+std::optional<Phase> parse_phase(std::string_view name) {
+  if (name == "phase1_acks") return Phase::kPhase1Acks;
+  if (name == "commit") return Phase::kCommit;
+  return std::nullopt;
+}
+
+Campaign reference_scale_campaign(std::size_t clusters, std::uint32_t nodes,
+                                  SimTime total) {
+  HC3I_CHECK(clusters >= 2 && nodes >= 4,
+             "reference_scale_campaign needs >= 2 clusters of >= 4 nodes");
+  // Times are fractions of the horizon so the same campaign shape runs at
+  // the bench's 10-minute and the CI golden's 30-minute horizons alike.
+  const auto frac = [total](double f) {
+    return SimTime{static_cast<std::int64_t>(static_cast<double>(total.ns) * f)};
+  };
+  Campaign plan;
+  // One scripted kill in cluster 0's interior.
+  plan.kills.push_back(KillSpec{frac(0.20), NodeId{nodes / 2}});
+  // Rack loss: three nodes of cluster 1 inside a 5%-of-horizon window.
+  plan.bursts.push_back(
+      BurstSpec{ClusterId{1}, 3, frac(0.35), frac(0.05), /*first_victim=*/1});
+  // Sustained Poisson load on the last cluster for the middle of the run.
+  StreamSpec stream;
+  stream.cluster = ClusterId{static_cast<std::uint32_t>(clusters - 1)};
+  stream.mtbf = frac(0.20);
+  stream.start = frac(0.50);
+  stream.stop = frac(0.90);
+  plan.streams.push_back(stream);
+  // A flaky machine in cluster 0 that fails twice.
+  plan.repeats.push_back(
+      RepeatSpec{NodeId{1}, 2, frac(0.55), frac(0.15)});
+  // Phase-targeted: kill a cluster-0 node right after its 4th CLC commit.
+  PhaseTriggerSpec trigger;
+  trigger.cluster = ClusterId{0};
+  trigger.phase = Phase::kCommit;
+  trigger.occurrence = 4;
+  trigger.victim = NodeId{2};
+  trigger.not_before = frac(0.10);
+  plan.phase_triggers.push_back(trigger);
+  return plan;
+}
+
+}  // namespace hc3i::fault

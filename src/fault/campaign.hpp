@@ -1,0 +1,151 @@
+#pragma once
+
+// Declarative fault campaigns.
+//
+// The protocol's whole reason to exist is surviving failures, but a bare
+// "kill node n at time t" list cannot express the failure patterns the
+// CIC/rollback literature measures against: sustained Poisson fault load,
+// correlated rack loss, flaky repeat-offender machines, or failures timed
+// against a protocol phase (the hand-built race in
+// Rollback.FailureBetweenPhase1AcksLeavesNoStaleDdv).  A fault::Campaign is
+// the declarative form of all of those: a list of typed injectors that the
+// CampaignEngine (fault/engine.hpp) compiles into simulator events against a
+// live federation, with one-fault-at-a-time serialisation (paper §2.1) and
+// per-incident recovery telemetry (fault/telemetry.hpp).
+//
+// This header is pure data + validation: it depends only on config/spec and
+// util so the config parser/writer (campaign files) and the driver can share
+// the type without pulling in the federation.  Campaigns are deterministic by
+// construction — every random choice is drawn from a fixed, per-injector RNG
+// stream — so a (seed, campaign) pair always produces a byte-identical
+// counter dump.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "config/spec.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace hc3i::fault {
+
+/// One-shot kill at a fixed simulated time (subsumes the driver's legacy
+/// `ScriptedFailure`).  If a previous fault's recovery is still pending at
+/// `at`, the kill is dropped and counted under `fault.skipped_overlap`
+/// (the legacy scripted-failure semantics, kept bit-compatible).
+struct KillSpec {
+  SimTime at{};
+  NodeId victim{};
+  constexpr bool operator==(const KillSpec&) const = default;
+};
+
+/// Poisson/MTBF failure stream: exponential inter-arrival times with mean
+/// `mtbf`, victims drawn uniformly from `cluster` (or the whole federation
+/// when `cluster` is empty — the legacy `auto_failures` behaviour).  A
+/// firing that lands while a recovery is pending is deferred: a fresh gap is
+/// drawn once the recovery completes.  The stream dies permanently when a
+/// draw lands past min(`stop`, quiesce bound).
+struct StreamSpec {
+  std::optional<ClusterId> cluster;  ///< empty = federation-wide
+  SimTime mtbf{};
+  SimTime start{SimTime::zero()};
+  SimTime stop{SimTime::infinity()};  ///< clamped to the quiesce bound
+  constexpr bool operator==(const StreamSpec&) const = default;
+};
+
+/// Correlated burst: `kills` distinct nodes of one cluster within `window`
+/// of `at` — the rack-loss pattern.  The protocol model admits one fault at
+/// a time, so the burst is the fastest legal serialisation: kills are spaced
+/// evenly across the window and any kill that lands mid-recovery fires the
+/// instant that recovery completes.  Victims are the cluster's nodes in
+/// local order starting at `first_victim`.
+struct BurstSpec {
+  ClusterId cluster{};
+  std::uint32_t kills{2};
+  SimTime at{};
+  SimTime window{};
+  std::uint32_t first_victim{0};  ///< local index of the first victim
+  constexpr bool operator==(const BurstSpec&) const = default;
+};
+
+/// Repeat offender: the same node fails `times` times — first at `first`,
+/// then every `gap`.  Occurrences that would land past the quiesce bound are
+/// clamped away; mid-recovery occurrences are deferred like burst kills.
+struct RepeatSpec {
+  NodeId victim{};
+  std::uint32_t times{2};
+  SimTime first{};
+  SimTime gap{};
+  constexpr bool operator==(const RepeatSpec&) const = default;
+};
+
+/// Protocol phase a trigger can target (HC3I protocols only).
+enum class Phase : std::uint8_t {
+  kPhase1Acks,  ///< between a CLC round's phase-1 acks and its commit
+  kCommit,      ///< immediately after a CLC commit
+};
+
+/// Phase-targeted trigger: fire relative to protocol state instead of the
+/// clock.  `kPhase1Acks` fires when the `occurrence`-th observed round in
+/// `cluster` (at or after `not_before`) has collected `after_acks` phase-1
+/// acks but has not committed — the generalisation of the hand-built
+/// mid-round race regression.  `kCommit` fires right after that round
+/// commits.  One-shot; skipped (and counted) if a recovery is pending.
+struct PhaseTriggerSpec {
+  ClusterId cluster{};
+  Phase phase{Phase::kPhase1Acks};
+  /// kPhase1Acks: ack count that arms the kill; must be strictly below the
+  /// cluster size (the last ack commits synchronously, so the window
+  /// closes there — validate() enforces this).
+  std::uint32_t after_acks{1};
+  std::uint32_t occurrence{1};   ///< 1-based index of the matching event
+  NodeId victim{};
+  SimTime not_before{SimTime::zero()};
+  constexpr bool operator==(const PhaseTriggerSpec&) const = default;
+};
+
+/// A fault campaign: every injector of every kind, armed together.
+struct Campaign {
+  std::vector<KillSpec> kills;
+  std::vector<StreamSpec> streams;
+  std::vector<BurstSpec> bursts;
+  std::vector<RepeatSpec> repeats;
+  std::vector<PhaseTriggerSpec> phase_triggers;
+
+  bool operator==(const Campaign&) const = default;
+
+  /// True when no injector is configured (the engine is not even built).
+  bool empty() const {
+    return kills.empty() && streams.empty() && bursts.empty() &&
+           repeats.empty() && phase_triggers.empty();
+  }
+  /// Total number of injectors.
+  std::size_t size() const {
+    return kills.size() + streams.size() + bursts.size() + repeats.size() +
+           phase_triggers.size();
+  }
+
+  /// Structural validation against a topology (victims exist, clusters in
+  /// range, burst fits its cluster, stream MTBF positive...).  Throws
+  /// CheckFailure with the offending injector on inconsistency.
+  void validate(const config::TopologySpec& topo) const;
+};
+
+/// Human-readable phase name ("phase1_acks" / "commit"); round-trips through
+/// parse_phase.
+const char* to_string(Phase p);
+/// Parse a phase name; empty optional on unknown input.
+std::optional<Phase> parse_phase(std::string_view name);
+
+/// The fixed campaign of the scale-out regime (docs/scaling.md "failures at
+/// scale"): one scripted kill, a 3-node burst, a per-cluster MTBF stream, a
+/// repeat offender and a commit-targeted trigger, with times expressed as
+/// fractions of `total` so the same shape runs at any horizon.  Requires
+/// `clusters >= 2`; used by the `scale_fed_faulty` bench kernel, the
+/// `scale_federation --faulty` CI golden and the fault_campaign example.
+Campaign reference_scale_campaign(std::size_t clusters, std::uint32_t nodes,
+                                  SimTime total);
+
+}  // namespace hc3i::fault

@@ -1,0 +1,264 @@
+#include "fault/engine.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/quantity.hpp"
+
+namespace hc3i::fault {
+
+namespace {
+
+// Fixed RNG stream id for failure injection, disjoint from the per-node
+// streams the workload derives (those use the node id directly).  Index 0 —
+// the slot the driver's `auto_failures` shim occupies — yields exactly the
+// id the Federation's built-in injector used before the campaign engine
+// subsumed it, so MTBF-driven runs reproduce pre-campaign behaviour draw
+// for draw.
+constexpr std::uint64_t kFailureRngStream = 0xFA11FA11ULL;
+
+constexpr std::uint64_t stream_rng_id(std::size_t index) {
+  return kFailureRngStream + (static_cast<std::uint64_t>(index) << 32);
+}
+
+}  // namespace
+
+CampaignEngine::CampaignEngine(fed::Federation& fed,
+                               core::Hc3iRuntime* runtime, Campaign plan,
+                               SimTime quiesce_bound)
+    : fed_(fed),
+      rt_(runtime),
+      plan_(std::move(plan)),
+      bound_(quiesce_bound),
+      telemetry_(fed.registry(), fed.ledger()) {}
+
+void CampaignEngine::arm() {
+  HC3I_CHECK(!armed_, "CampaignEngine::arm called twice");
+  armed_ = true;
+  plan_.validate(fed_.spec().topology);
+  HC3I_CHECK(plan_.phase_triggers.empty() || rt_ != nullptr,
+             "campaign phase triggers observe HC3I protocol state; the "
+             "selected protocol exposes none");
+
+  // The quiesce bound is the last admissible injection time: a kill later
+  // than this leaves the recovery (and, for message-logging protocols, the
+  // replay of lost work) no runway before strict validation, so pre-failure
+  // sends would be audited as ghosts.  Reject loudly instead of producing a
+  // run whose violations blame the protocol.
+  for (const KillSpec& k : plan_.kills) {
+    HC3I_CHECK(k.at <= bound_,
+               "campaign kill of node " + std::to_string(k.victim.v) +
+                   " at " + to_string(k.at) +
+                   " lands past the failure quiesce bound " +
+                   to_string(bound_) +
+                   ": recovery could not settle before validation "
+                   "(move the kill earlier or extend the horizon)");
+  }
+  for (const BurstSpec& b : plan_.bursts) {
+    const SimTime last = b.kills > 1 ? b.at + b.window : b.at;
+    HC3I_CHECK(last <= bound_,
+               "campaign burst in cluster " + std::to_string(b.cluster.v) +
+                   " ends at " + to_string(last) +
+                   ", past the failure quiesce bound " + to_string(bound_));
+  }
+
+  fed_.set_recovery_listener([this](ClusterId c) { on_recovery(c); });
+  if (rt_ != nullptr) rt_->set_observer(this);
+
+  // Streams arm first: the auto_failures shim occupies stream index 0 and
+  // historically scheduled its first draw before any scripted kill.
+  streams_.reserve(plan_.streams.size());
+  for (std::size_t i = 0; i < plan_.streams.size(); ++i) {
+    const StreamSpec& spec = plan_.streams[i];
+    streams_.push_back(StreamState{spec, sim().rng_stream(stream_rng_id(i)),
+                                   std::min(spec.stop, bound_), false});
+    if (spec.start <= sim().now()) {
+      schedule_stream_next(i);
+    } else {
+      sim().schedule_at(spec.start, [this, i] { schedule_stream_next(i); });
+    }
+  }
+
+  for (const KillSpec& k : plan_.kills) {
+    sim().schedule_at(k.at,
+                      [this, k] { inject_or_skip(k.victim, "scripted"); });
+  }
+
+  const net::Topology& topo = fed_.topology();
+  for (const BurstSpec& b : plan_.bursts) {
+    const std::uint32_t size = topo.cluster_size(b.cluster);
+    const NodeId base = topo.first_node(b.cluster);
+    for (std::uint32_t j = 0; j < b.kills; ++j) {
+      // Kills spaced evenly across [at, at + window]; the one-fault-at-a-
+      // time model serialises whatever lands inside a recovery.
+      const SimTime when =
+          b.kills > 1 ? SimTime{b.at.ns + (b.window.ns *
+                                           static_cast<std::int64_t>(j)) /
+                                              (b.kills - 1)}
+                      : b.at;
+      const NodeId victim{base.v + (b.first_victim + j) % size};
+      sim().schedule_at(when,
+                        [this, victim] { inject_or_queue(victim, "burst"); });
+    }
+  }
+
+  for (const RepeatSpec& r : plan_.repeats) {
+    for (std::uint32_t j = 0; j < r.times; ++j) {
+      const SimTime when = r.first + r.gap * static_cast<std::int64_t>(j);
+      if (when > bound_) break;  // clamp occurrences past the quiesce bound
+      const NodeId victim = r.victim;
+      sim().schedule_at(when,
+                        [this, victim] { inject_or_queue(victim, "repeat"); });
+    }
+  }
+
+  triggers_.reserve(plan_.phase_triggers.size());
+  for (const PhaseTriggerSpec& t : plan_.phase_triggers) {
+    triggers_.push_back(TriggerState{t, 0, false});
+  }
+}
+
+void CampaignEngine::finalize() { telemetry_.finalize(sim().now()); }
+
+// ---------------------------------------------------------------------------
+// Injection paths
+// ---------------------------------------------------------------------------
+
+void CampaignEngine::inject(NodeId victim, const char* source) {
+  telemetry_.begin_incident(sim().now(), victim, cluster_of(victim), source);
+  fed_.inject_failure(victim);
+}
+
+void CampaignEngine::inject_or_queue(NodeId victim, const char* source) {
+  if (sim().now() > bound_) {
+    // A deferral pushed this kill past the quiesce bound (arm() only checks
+    // the *scheduled* times): injecting now would leave the recovery — and
+    // for message-logging protocols the replay of lost work — no runway
+    // before strict validation, the ghost-send hazard the bound exists to
+    // prevent.  Drop and count instead.
+    fed_.registry().inc("fault.skipped_quiesce");
+    return;
+  }
+  if (fed_.recovery_pending()) {
+    pending_.push_back(PendingKill{victim, source});
+    fed_.registry().inc("fault.deferred");
+    return;
+  }
+  inject(victim, source);
+}
+
+void CampaignEngine::inject_or_skip(NodeId victim, const char* source) {
+  if (sim().now() > bound_) {
+    // Phase-targeted triggers can match a round that runs in the drain
+    // window; past the bound the kill could not settle (see above).
+    fed_.registry().inc("fault.skipped_quiesce");
+    return;
+  }
+  if (fed_.recovery_pending()) {
+    fed_.registry().inc("fault.skipped_overlap");
+    return;
+  }
+  inject(victim, source);
+}
+
+// ---------------------------------------------------------------------------
+// MTBF streams
+// ---------------------------------------------------------------------------
+
+void CampaignEngine::schedule_stream_next(std::size_t i) {
+  StreamState& st = streams_[i];
+  const SimTime gap =
+      from_seconds_f(st.rng.exponential(st.spec.mtbf.seconds()));
+  const SimTime when = sim().now() + gap;
+  if (when > st.stop) return;  // the stream dies past its window
+  sim().schedule_at(when, [this, i] { stream_fire(i); });
+}
+
+void CampaignEngine::stream_fire(std::size_t i) {
+  StreamState& st = streams_[i];
+  if (fed_.recovery_pending()) {
+    // One fault at a time: a fresh gap is drawn once recovery completes.
+    st.deferred = true;
+    return;
+  }
+  const net::Topology& topo = fed_.topology();
+  NodeId victim;
+  if (st.spec.cluster) {
+    const ClusterId c = *st.spec.cluster;
+    victim = NodeId{topo.first_node(c).v +
+                    static_cast<std::uint32_t>(
+                        st.rng.next_below(topo.cluster_size(c)))};
+  } else {
+    victim = NodeId{
+        static_cast<std::uint32_t>(st.rng.next_below(topo.node_count()))};
+  }
+  inject(victim, "stream");
+  schedule_stream_next(i);
+}
+
+// ---------------------------------------------------------------------------
+// Phase-targeted triggers (ProtocolObserver)
+// ---------------------------------------------------------------------------
+
+void CampaignEngine::trigger_matched(TriggerState& t) {
+  if (++t.seen < t.spec.occurrence) return;
+  t.done = true;
+  const NodeId victim = t.spec.victim;
+  // Deferred one (zero-delay) event so the kill never mutates network state
+  // from inside the protocol handler that reported the phase.
+  sim().schedule_after(SimTime::zero(),
+                       [this, victim] { inject_or_skip(victim, "phase"); });
+}
+
+void CampaignEngine::on_phase1_ack(ClusterId cluster, std::uint64_t /*round*/,
+                                   std::uint32_t acks,
+                                   std::uint32_t /*needed*/) {
+  for (TriggerState& t : triggers_) {
+    if (t.done || t.spec.phase != Phase::kPhase1Acks) continue;
+    if (t.spec.cluster != cluster || acks != t.spec.after_acks) continue;
+    if (sim().now() < t.spec.not_before) continue;
+    trigger_matched(t);
+  }
+}
+
+void CampaignEngine::on_clc_commit(ClusterId cluster, SeqNum /*sn*/,
+                                   bool /*forced*/) {
+  for (TriggerState& t : triggers_) {
+    if (t.done || t.spec.phase != Phase::kCommit) continue;
+    if (t.spec.cluster != cluster) continue;
+    if (sim().now() < t.spec.not_before) continue;
+    trigger_matched(t);
+  }
+}
+
+void CampaignEngine::on_failure_detected(ClusterId cluster,
+                                         NodeId /*failed*/) {
+  telemetry_.on_failure_detected(sim().now(), cluster);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery completion: retry whatever the one-fault rule held back
+// ---------------------------------------------------------------------------
+
+void CampaignEngine::on_recovery(ClusterId cluster) {
+  telemetry_.on_recovery_complete(sim().now(), cluster);
+  if (!pending_.empty()) {
+    // Burst/repeat kills fire the instant the blocking recovery completes,
+    // one per completion (injecting sets recovery_pending again).  Streams
+    // stay deferred until the queue drains.
+    const PendingKill k = pending_.front();
+    pending_.erase(pending_.begin());
+    sim().schedule_after(SimTime::zero(), [this, k] {
+      inject_or_queue(k.victim, k.source);
+    });
+    return;
+  }
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    if (streams_[i].deferred) {
+      streams_[i].deferred = false;
+      schedule_stream_next(i);
+    }
+  }
+}
+
+}  // namespace hc3i::fault

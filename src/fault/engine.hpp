@@ -1,0 +1,119 @@
+#pragma once
+
+// CampaignEngine — compiles a declarative fault::Campaign into simulator
+// events against a live federation and owns the recovery telemetry.
+//
+// Serialisation model (paper §2.1, one fault at a time):
+//
+//   * scripted kills that land while a recovery is pending are dropped and
+//     counted under `fault.skipped_overlap` — the exact semantics of the
+//     legacy `driver::ScriptedFailure` path, kept bit-compatible so the
+//     shim reproduces PR-era runs;
+//   * stream firings defer: a fresh exponential gap is drawn when the
+//     blocking recovery completes (the legacy `auto_failures` semantics,
+//     same RNG stream id for the federation-wide shim);
+//   * burst and repeat kills queue FIFO and fire the instant the blocking
+//     recovery completes — a rack loss is modelled as the fastest legal
+//     serialisation of its kills;
+//   * phase-targeted triggers are one-shot: a trigger whose moment arrives
+//     mid-recovery is skipped and counted, because "between phase-1 ack and
+//     commit" cannot be deferred and still mean anything.
+//
+// Quiesce bound: the driver passes the same bound it applies to automatic
+// failures (for message-logging protocols the horizon minus one checkpoint
+// period plus margin — see driver/run.cpp).  Scripted kills and burst ends
+// beyond the bound are rejected with a CheckFailure at arm() time; stream
+// stops are clamped; repeat occurrences past the bound are dropped.
+//
+// Everything the engine schedules is deterministic: per-injector RNG
+// streams are derived from the simulation's master seed with fixed ids, so
+// one (seed, campaign) pair always produces a byte-identical counter dump.
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/campaign.hpp"
+#include "fault/telemetry.hpp"
+#include "fed/federation.hpp"
+#include "hc3i/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace hc3i::fault {
+
+/// Arms a campaign against a federation and records per-incident telemetry.
+class CampaignEngine final : public core::ProtocolObserver {
+ public:
+  /// `runtime` may be null (non-HC3I protocols); phase triggers then reject
+  /// at arm() time.  `quiesce_bound` is the last admissible injection time.
+  CampaignEngine(fed::Federation& fed, core::Hc3iRuntime* runtime,
+                 Campaign plan, SimTime quiesce_bound);
+
+  CampaignEngine(const CampaignEngine&) = delete;
+  CampaignEngine& operator=(const CampaignEngine&) = delete;
+
+  /// Validate timing against the quiesce bound and schedule every injector.
+  /// Call once, after Federation::start(); throws CheckFailure on a kill
+  /// that cannot quiesce before validation.
+  void arm();
+
+  /// Close the open telemetry window (call after the simulation drains).
+  void finalize();
+
+  RecoveryTelemetry& telemetry() { return telemetry_; }
+  const std::vector<Incident>& incidents() const {
+    return telemetry_.incidents();
+  }
+
+  // core::ProtocolObserver ---------------------------------------------------
+  void on_phase1_ack(ClusterId cluster, std::uint64_t round,
+                     std::uint32_t acks, std::uint32_t needed) override;
+  void on_clc_commit(ClusterId cluster, SeqNum sn, bool forced) override;
+  void on_failure_detected(ClusterId cluster, NodeId failed) override;
+
+ private:
+  struct StreamState {
+    StreamSpec spec;
+    RngStream rng;
+    SimTime stop{};        ///< spec.stop clamped to the quiesce bound
+    bool deferred{false};  ///< a firing is waiting for recovery completion
+  };
+  struct TriggerState {
+    PhaseTriggerSpec spec;
+    std::uint32_t seen{0};
+    bool done{false};
+  };
+  struct PendingKill {
+    NodeId victim{};
+    const char* source{""};
+  };
+
+  sim::Simulation& sim() { return fed_.simulation(); }
+  ClusterId cluster_of(NodeId n) const {
+    return fed_.topology().cluster_of(n);
+  }
+
+  /// Inject now (caller ensured no recovery is pending) and open the
+  /// incident record.
+  void inject(NodeId victim, const char* source);
+  /// Inject, or queue FIFO behind the pending recovery (bursts/repeats).
+  void inject_or_queue(NodeId victim, const char* source);
+  /// Inject, or drop with `fault.skipped_overlap` (kills/phase triggers).
+  void inject_or_skip(NodeId victim, const char* source);
+
+  void schedule_stream_next(std::size_t i);
+  void stream_fire(std::size_t i);
+  void trigger_matched(TriggerState& t);
+  void on_recovery(ClusterId cluster);
+
+  fed::Federation& fed_;
+  core::Hc3iRuntime* rt_;
+  Campaign plan_;
+  SimTime bound_;
+  RecoveryTelemetry telemetry_;
+  std::vector<StreamState> streams_;
+  std::vector<TriggerState> triggers_;
+  std::vector<PendingKill> pending_;  ///< FIFO, front at index 0
+  bool armed_{false};
+};
+
+}  // namespace hc3i::fault

@@ -1,0 +1,77 @@
+#include "fault/telemetry.hpp"
+
+namespace hc3i::fault {
+
+RecoveryTelemetry::RecoveryTelemetry(stats::Registry& registry,
+                                     const proto::ConsistencyLedger& ledger)
+    : registry_(registry), ledger_(ledger) {}
+
+RecoveryTelemetry::CostSnapshot RecoveryTelemetry::snapshot() const {
+  // Read-only lookups: get() never interns, so telemetry cannot perturb a
+  // counter dump.  The lost-work summary is interned lazily like any reader.
+  CostSnapshot s;
+  s.rollbacks = registry_.get("rollback.count");
+  s.nodes = registry_.get("rollback.nodes");
+  s.alerts = registry_.get("rollback.alerts");
+  s.resent_msgs = registry_.get("log.resent_msgs");
+  s.resent_bytes = registry_.get("log.resent_bytes");
+  s.undone = ledger_.undone_events();
+  s.lost_work_s = registry_.summary("rollback.lost_work_s").sum();
+  return s;
+}
+
+void RecoveryTelemetry::close_window() {
+  if (!window_open_) return;
+  window_open_ = false;
+  const CostSnapshot now = snapshot();
+  Incident& inc = incidents_.back();
+  inc.rollbacks = now.rollbacks - window_start_.rollbacks;
+  inc.nodes_rolled_back = now.nodes - window_start_.nodes;
+  inc.alert_fanout = now.alerts - window_start_.alerts;
+  inc.replayed_msgs = now.resent_msgs - window_start_.resent_msgs;
+  inc.replayed_bytes = now.resent_bytes - window_start_.resent_bytes;
+  inc.events_undone = now.undone - window_start_.undone;
+  inc.lost_work_s = now.lost_work_s - window_start_.lost_work_s;
+  registry_.observe("fault.alert_fanout",
+                    static_cast<double>(inc.alert_fanout));
+  registry_.observe("fault.replayed_msgs",
+                    static_cast<double>(inc.replayed_msgs));
+  registry_.observe("fault.nodes_rolled_back",
+                    static_cast<double>(inc.nodes_rolled_back));
+}
+
+void RecoveryTelemetry::begin_incident(SimTime now, NodeId victim,
+                                       ClusterId cluster, const char* source) {
+  close_window();
+  Incident inc;
+  inc.id = static_cast<std::uint32_t>(incidents_.size() + 1);
+  inc.injected_at = now;
+  inc.victim = victim;
+  inc.cluster = cluster;
+  inc.source = source;
+  incidents_.push_back(inc);
+  window_start_ = snapshot();
+  window_open_ = true;
+}
+
+void RecoveryTelemetry::on_failure_detected(SimTime now, ClusterId cluster) {
+  if (incidents_.empty()) return;
+  Incident& inc = incidents_.back();
+  if (inc.cluster == cluster && inc.detected_at == SimTime::zero()) {
+    inc.detected_at = now;
+  }
+}
+
+void RecoveryTelemetry::on_recovery_complete(SimTime now, ClusterId cluster) {
+  if (incidents_.empty()) return;
+  Incident& inc = incidents_.back();
+  if (inc.recovery_complete || inc.cluster != cluster) return;
+  inc.recovered_at = now;
+  inc.recovery_complete = true;
+  registry_.observe("fault.recovery_latency_s",
+                    inc.recovery_latency().seconds());
+}
+
+void RecoveryTelemetry::finalize(SimTime) { close_window(); }
+
+}  // namespace hc3i::fault

@@ -6,20 +6,13 @@
 
 namespace hc3i::fed {
 
-namespace {
-// Fixed stream id for the failure injector, disjoint from the per-node
-// streams used by the workload (which use the node id directly).
-constexpr std::uint64_t kFailureRngStream = 0xFA11FA11ULL;
-}  // namespace
-
 Federation::Federation(sim::Simulation& sim, config::RunSpec spec,
                        stats::Registry& registry)
     : sim_(sim),
       spec_(std::move(spec)),
       registry_(registry),
       topo_((spec_.validate(), spec_.topology)),
-      network_(sim, topo_, registry),
-      failure_rng_(sim.rng_stream(kFailureRngStream)) {}
+      network_(sim, topo_, registry) {}
 
 void Federation::build_agents(const proto::AgentFactory& factory,
                               const std::vector<proto::AppHandle*>& apps) {
@@ -80,34 +73,6 @@ SimTime Federation::state_restore_delay(ClusterId c) const {
   return delay;
 }
 
-void Federation::enable_failures(SimTime horizon) {
-  if (spec_.topology.mtbf.is_infinite()) return;
-  auto_failures_ = true;
-  failure_horizon_ = horizon;
-  schedule_next_failure();
-}
-
-void Federation::schedule_next_failure() {
-  const SimTime gap =
-      from_seconds_f(failure_rng_.exponential(spec_.topology.mtbf.seconds()));
-  const SimTime when = sim_.now() + gap;
-  if (when > failure_horizon_) return;
-  sim_.schedule_at(when, [this] { fire_failure(); });
-}
-
-void Federation::fire_failure() {
-  if (recovery_pending_) {
-    // One fault at a time (paper §2.1): retry once recovery completes.
-    failure_deferred_ = true;
-    return;
-  }
-  const auto victim =
-      NodeId{static_cast<std::uint32_t>(failure_rng_.next_below(
-          topo_.node_count()))};
-  inject_failure(victim);
-  if (auto_failures_) schedule_next_failure();
-}
-
 void Federation::inject_failure(NodeId victim) {
   HC3I_CHECK(victim.v < topo_.node_count(), "inject_failure: bad node");
   HC3I_CHECK(!recovery_pending_,
@@ -139,10 +104,7 @@ void Federation::recovery_complete(ClusterId c) {
   HC3I_TRACE(kProtocol, sim_.now(), "RECOVERY complete (cluster " << c.v << ")");
   registry_.inc("fault.recovery_complete");
   recovery_pending_ = false;
-  if (failure_deferred_) {
-    failure_deferred_ = false;
-    if (auto_failures_) schedule_next_failure();
-  }
+  if (recovery_listener_) recovery_listener_(c);
 }
 
 }  // namespace hc3i::fed

@@ -17,9 +17,12 @@
 // node stops receiving; after the detection delay the coordinator (first
 // up node) of its cluster gets on_failure_detected(); the victim is
 // restored from its neighbour's stable-storage replica after a state
-// transfer delay.  The injector waits for the protocol to signal
-// recovery_complete() before arming the next failure.
+// transfer delay.  Injection policy lives outside: the fault-campaign
+// engine (src/fault/engine.hpp) decides *when* and *whom* to kill, calls
+// inject_failure(), and observes recovery_complete() through the recovery
+// listener to serialise faults (one at a time) and to time recoveries.
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -50,16 +53,18 @@ class Federation {
   /// Start every agent (arm timers, take initial checkpoints).
   void start();
 
-  /// Enable automatic failure injection per the topology MTBF, up to
-  /// `horizon`. No-op when the MTBF is infinite.
-  void enable_failures(SimTime horizon);
-
-  /// Inject one failure at the current simulated time (tests and the
-  /// failure-recovery example drive this directly).
+  /// Inject one failure at the current simulated time (the campaign engine
+  /// and scenario tests drive this directly).
   void inject_failure(NodeId victim);
 
   /// Protocol signal: the recovery for the last injected failure finished.
   void recovery_complete(ClusterId c);
+
+  /// Install a callback invoked on every recovery_complete() (the campaign
+  /// engine retries deferred injections and stamps telemetry from it).
+  void set_recovery_listener(std::function<void(ClusterId)> listener) {
+    recovery_listener_ = std::move(listener);
+  }
 
   /// Accessors.
   proto::ProtocolAgent& agent(NodeId n);
@@ -80,8 +85,6 @@ class Federation {
   bool recovery_pending() const { return recovery_pending_; }
 
  private:
-  void schedule_next_failure();
-  void fire_failure();
   SimTime state_restore_delay(ClusterId c) const;
 
   sim::Simulation& sim_;
@@ -91,11 +94,8 @@ class Federation {
   net::Network network_;
   proto::ConsistencyLedger ledger_;
   std::vector<std::unique_ptr<proto::ProtocolAgent>> agents_;
-  RngStream failure_rng_;
-  SimTime failure_horizon_{SimTime::zero()};
-  bool auto_failures_{false};
+  std::function<void(ClusterId)> recovery_listener_;
   bool recovery_pending_{false};
-  bool failure_deferred_{false};
   std::uint32_t failures_{0};
 };
 

@@ -404,7 +404,14 @@ void Hc3iAgent::handle_clc_ack(const ClcAck& m) {
   if (parts_[idx].has_value()) return;  // duplicate
   parts_[idx] = m.part;
   round_ddv_merge_.merge_max(m.node_ddv);
-  if (++acks_received_ == parts_.size()) coordinator_commit_round();
+  ++acks_received_;
+  if (ProtocolObserver* ob = rt_.observer()) {
+    // Phase-targeted fault injection observes the ack/commit window here.
+    ob->on_phase1_ack(cluster(), active_round_id_,
+                      static_cast<std::uint32_t>(acks_received_),
+                      static_cast<std::uint32_t>(parts_.size()));
+  }
+  if (acks_received_ == parts_.size()) coordinator_commit_round();
 }
 
 void Hc3iAgent::coordinator_commit_round() {
@@ -479,6 +486,10 @@ void Hc3iAgent::coordinator_commit_round() {
                     ControlSizes::kSmall +
                         new_ddv.size() * ControlSizes::kPerDdvEntry,
                     std::move(commit), /*include_self=*/true);
+  if (ProtocolObserver* ob = rt_.observer()) {
+    ob->on_clc_commit(cluster(), new_sn,
+                      round_reason_ == RoundReason::kForced);
+  }
 }
 
 void Hc3iAgent::handle_clc_commit(const ClcCommit& m) {
@@ -522,6 +533,9 @@ void Hc3iAgent::on_failure_detected(NodeId failed) {
   // stored CLC."
   HC3I_CHECK(ctx_.topology->cluster_of(failed) == cluster(),
              "failure notification routed to wrong cluster");
+  if (ProtocolObserver* ob = rt_.observer()) {
+    ob->on_failure_detected(cluster(), failed);
+  }
   stat(stat_rollback_faults_, "rollback.faults").inc();
   proto::ClcRecord rec = store().last();  // copy: the store gets truncated
   // The failed node lost its volatile memory; it will restore the
@@ -544,6 +558,10 @@ void Hc3iAgent::rollback_cluster(proto::ClcRecord rec_arg, bool fault_origin) {
   const Incarnation new_inc = rt_.bump_incarnation(c);
   named_stat(stat_rollback_global_, "rollback.count").inc();
   stat(stat_rollback_count_, "rollback.count").inc();
+  // Node-level blast radius: the whole cluster restores (recovery telemetry
+  // diffs this per incident).
+  named_stat(stat_rollback_nodes_, "rollback.nodes")
+      .inc(ctx_.topology->cluster_size(c));
   named_summary(stat_rollback_depth_, "rollback.depth_clcs")
       .add(static_cast<double>(sn_ - rec.sn));
   HC3I_TRACE(kProtocol, now(), "C" << c.v << " ROLLBACK to sn=" << rec.sn

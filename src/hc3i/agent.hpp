@@ -210,6 +210,7 @@ class Hc3iAgent : public proto::AgentBase {
   stats::Counter* stat_rollback_faults_{nullptr};
   stats::Counter* stat_rollback_count_{nullptr};
   stats::Counter* stat_rollback_global_{nullptr};
+  stats::Counter* stat_rollback_nodes_{nullptr};
   stats::Counter* stat_rollback_cascade_{nullptr};
   stats::Counter* stat_gc_removed_{nullptr};
   stats::Counter* stat_gc_resp_saved_{nullptr};

@@ -24,6 +24,8 @@ net::Envelope AgentBase::resend_app(const net::Envelope& original) {
   net::Envelope env = original;
   ctx_.ledger->record_send(env.app_seq, self(), cluster(), now());
   ctx_.registry->inc("log.resent_msgs");
+  // Replay cost in bytes (recovery telemetry reports it per incident).
+  ctx_.registry->inc("log.resent_bytes", env.payload_bytes);
   env.sent_at = now();
   env.id = ctx_.network->send(env);
   return env;
