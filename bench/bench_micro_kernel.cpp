@@ -291,15 +291,24 @@ struct FaultStats {
   }
 };
 
-/// The scale-out kernel under the fixed reference fault campaign: same
-/// topology/traffic as scale_fed, plus scripted kill + burst + MTBF stream
-/// + repeat offender + commit-targeted trigger.  `out` accumulates the
-/// recovery-cost counters next to the rate.
+/// The scale-out kernel under a fixed fault campaign: same topology/traffic
+/// as scale_fed, plus scripted kill + burst + MTBF stream + repeat offender
+/// + commit-targeted trigger.  The reference campaign runs in legacy
+/// serialized mode (comparable with earlier bench history); `overlap` runs
+/// the overlapping-burst campaign with concurrent per-cluster recoveries.
+/// `out` accumulates the recovery-cost counters next to the rate.
 KernelResult bench_scale_fed_faulty(std::uint64_t seed, std::size_t clusters,
-                                    FaultStats* out) {
+                                    bool overlap, FaultStats* out) {
   driver::RunOptions opts;
   opts.spec = config::scale_federation_spec(clusters, 100, minutes(10));
-  opts.campaign = fault::reference_scale_campaign(clusters, 100, minutes(10));
+  if (overlap) {
+    opts.campaign =
+        fault::reference_overlap_campaign(clusters, 100, minutes(10));
+  } else {
+    opts.campaign =
+        fault::reference_scale_campaign(clusters, 100, minutes(10));
+    opts.campaign.serialize_faults = true;
+  }
   opts.seed = seed;
   const double t0 = now_sec();
   const std::uint64_t allocs0 = g_allocs;
@@ -355,8 +364,8 @@ int main(int argc, char** argv) {
   const auto msg_ops = static_cast<std::uint64_t>(400'000 * scale);
 
   KernelResult events, msgs, msgs_ddv, whole, scale_half, scale_full;
-  KernelResult faulty_half, faulty_full;
-  FaultStats faults_half, faults_full;
+  KernelResult faulty_half, faulty_full, overlap_full;
+  FaultStats faults_half, faults_full, faults_overlap;
   const auto fold = [](KernelResult& acc, const KernelResult& r) {
     acc.ops += r.ops;
     acc.elapsed_sec += r.elapsed_sec;
@@ -370,8 +379,12 @@ int main(int argc, char** argv) {
     fold(whole, bench_whole_sim(s));
     fold(scale_half, bench_scale_fed(s, 5));
     fold(scale_full, bench_scale_fed(s, 10));
-    fold(faulty_half, bench_scale_fed_faulty(s, 5, &faults_half));
-    fold(faulty_full, bench_scale_fed_faulty(s, 10, &faults_full));
+    fold(faulty_half,
+         bench_scale_fed_faulty(s, 5, /*overlap=*/false, &faults_half));
+    fold(faulty_full,
+         bench_scale_fed_faulty(s, 10, /*overlap=*/false, &faults_full));
+    fold(overlap_full,
+         bench_scale_fed_faulty(s, 10, /*overlap=*/true, &faults_overlap));
   }
   // 5 -> 10 clusters doubles the federation; linear cost doubles the heap
   // traffic, a clusters² term quadruples it.  This ratio is the scale
@@ -414,6 +427,18 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(faults_full.alert_fanout),
               static_cast<unsigned long long>(faults_full.replayed_msgs),
               faults_full.mean_latency_s());
+  std::printf("overlap   : %12.0f events/sec  (%.4f allocs/event, 10x100 "
+              "under the overlapping-burst campaign)\n",
+              overlap_full.rate(), overlap_full.allocs_per_op());
+  std::printf(" 10c: %llu faults, %llu rollbacks (%llu nodes), fanout %llu, "
+              "replay %llu msgs, latency %.3f s\n",
+              static_cast<unsigned long long>(faults_overlap.injected),
+              static_cast<unsigned long long>(faults_overlap.rollbacks),
+              static_cast<unsigned long long>(
+                  faults_overlap.nodes_rolled_back),
+              static_cast<unsigned long long>(faults_overlap.alert_fanout),
+              static_cast<unsigned long long>(faults_overlap.replayed_msgs),
+              faults_overlap.mean_latency_s());
   std::printf("peak RSS  : %ld KB\n", peak_rss_kb());
 
   std::FILE* f = std::fopen(out.c_str(), "w");
@@ -456,6 +481,8 @@ int main(int argc, char** argv) {
                "  \"scale_fed_events_per_sec\": %.1f,\n"
                "  \"scale_fed_faulty_events_per_sec\": %.1f,\n"
                "  \"scale_fed_faulty_allocs_per_op\": %.6f,\n"
+               "  \"scale_fed_overlap_events_per_sec\": %.1f,\n"
+               "  \"scale_fed_overlap_allocs_per_op\": %.6f,\n"
                "  \"msgs_allocs_per_op\": %.6f,\n"
                "  \"msgs_ddv_allocs_per_op\": %.6f,\n"
                "  \"events_allocs_per_op\": %.6f,\n"
@@ -467,13 +494,15 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(seeds), events.rate(),
                msgs.rate(), msgs_ddv.rate(), whole.rate(), scale_full.rate(),
                faulty_full.rate(), faulty_full.allocs_per_op(),
+               overlap_full.rate(), overlap_full.allocs_per_op(),
                msgs.allocs_per_op(), msgs_ddv.allocs_per_op(),
                events.allocs_per_op(),
                static_cast<unsigned long long>(scale_half.alloc_bytes),
                static_cast<unsigned long long>(scale_full.alloc_bytes),
                heap_growth, peak_rss_kb());
   fault_json("clusters_5", faults_half, ",");
-  fault_json("clusters_10", faults_full, "");
+  fault_json("clusters_10", faults_full, ",");
+  fault_json("clusters_10_overlap", faults_overlap, "");
   std::fprintf(f,
                "  },\n"
                "  \"kernels\": {\n");
@@ -482,7 +511,8 @@ int main(int argc, char** argv) {
   kernel_json("msgs_ddv", msgs_ddv, ",");
   kernel_json("whole_sim", whole, ",");
   kernel_json("scale_fed", scale_full, ",");
-  kernel_json("scale_fed_faulty", faulty_full, "");
+  kernel_json("scale_fed_faulty", faulty_full, ",");
+  kernel_json("scale_fed_overlap", overlap_full, "");
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out.c_str());

@@ -15,6 +15,12 @@
 //                                                      #   campaign + incident
 //                                                      #   table (CI golden's
 //                                                      #   scenario)
+//   ./fault_campaign --overlap --clusters=10           # the overlapping-burst
+//                                                      #   campaign: concurrent
+//                                                      #   per-cluster
+//                                                      #   recoveries, conc
+//                                                      #   column + residual
+//                                                      #   row in the table
 //
 // Columns: ev/s (simulator throughput under fault load), faults (injected),
 // rb/fault (cluster rollbacks per incident, cascades included), fanout
@@ -31,6 +37,7 @@
 #include "driver/report.hpp"
 #include "driver/run.hpp"
 #include "fault/campaign.hpp"
+#include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/quantity.hpp"
 
@@ -98,10 +105,24 @@ Row run_one(std::size_t clusters, std::uint32_t nodes, SimTime total,
 }
 
 int run_reference(std::size_t clusters, std::uint32_t nodes, SimTime total,
-                  std::uint64_t seed) {
+                  std::uint64_t seed, bool overlap) {
   driver::RunOptions opts;
   opts.spec = config::scale_federation_spec(clusters, nodes, total);
-  opts.campaign = fault::reference_scale_campaign(clusters, nodes, total);
+  opts.campaign =
+      overlap ? fault::reference_overlap_campaign(clusters, nodes, total)
+              : fault::reference_scale_campaign(clusters, nodes, total);
+  if (!overlap) opts.campaign.serialize_faults = true;  // the legacy scenario
+  if (overlap) {
+    // Reject campaigns whose same-cluster queues cannot drain before the
+    // quiesce bound (a burst denser than the cluster's recovery rate).
+    try {
+      fault::check_queue_bounds(opts.campaign, opts.spec,
+                                opts.spec.application.total_time);
+    } catch (const CheckFailure& e) {
+      std::fprintf(stderr, "unbounded same-cluster queue: %s\n", e.what());
+      return 2;
+    }
+  }
   opts.seed = seed;
   const driver::RunResult result = driver::run_simulation(opts);
   std::printf("%s", driver::render_report(result, clusters).c_str());
@@ -114,10 +135,11 @@ int main(int argc, char** argv) {
   const Flags flags = Flags::parse(argc, argv);
   for (const std::string& name : flags.names()) {
     if (name != "clusters" && name != "nodes" && name != "seed" &&
-        name != "minutes" && name != "mtbf" && name != "reference") {
+        name != "minutes" && name != "mtbf" && name != "reference" &&
+        name != "overlap") {
       std::fprintf(stderr,
                    "unknown flag --%s (known: --clusters --nodes --seed "
-                   "--minutes --mtbf --reference)\n",
+                   "--minutes --mtbf --reference --overlap)\n",
                    name.c_str());
       return 2;
     }
@@ -138,8 +160,9 @@ int main(int argc, char** argv) {
   }
   if (clusters.empty()) clusters = {2, 5, 10};
 
-  if (flags.get_bool("reference", false)) {
-    return run_reference(clusters.back(), nodes, total, seed);
+  if (flags.get_bool("reference", false) || flags.get_bool("overlap", false)) {
+    return run_reference(clusters.back(), nodes, total, seed,
+                         flags.get_bool("overlap", false));
   }
 
   std::vector<SimTime> mtbfs;

@@ -17,10 +17,17 @@
 //                                              #   diffs it against
 //                                              #   bench/golden_counters_scale.txt)
 //   ./scale_federation --faulty [--sweep=...]  # same scenario under the fixed
-//                                              #   reference fault campaign;
-//                                              #   with --dump-counters CI
-//                                              #   diffs it against
+//                                              #   reference fault campaign in
+//                                              #   legacy serialized mode; with
+//                                              #   --dump-counters CI diffs it
+//                                              #   against
 //                                              #   bench/golden_counters_scale_faulty.txt
+//   ./scale_federation --overlap               # overlapping-burst campaign:
+//                                              #   concurrent per-cluster
+//                                              #   recoveries; with
+//                                              #   --dump-counters CI diffs it
+//                                              #   against
+//                                              #   bench/golden_counters_scale_overlap.txt
 
 #include <chrono>
 #include <cstdio>
@@ -66,6 +73,28 @@ bool parse_sweep(const std::string& s, std::vector<std::size_t>* out) {
   return true;
 }
 
+/// Which fault plan (if any) rides on the scale scenario.
+enum class FaultMode { kNone, kFaulty, kOverlap };
+
+void apply_fault_mode(driver::RunOptions* opts, FaultMode mode,
+                      std::size_t clusters, std::uint32_t nodes,
+                      SimTime total) {
+  switch (mode) {
+    case FaultMode::kNone:
+      break;
+    case FaultMode::kFaulty:
+      opts->campaign = fault::reference_scale_campaign(clusters, nodes, total);
+      // The faulty golden predates concurrent recoveries; pin the legacy
+      // one-fault-at-a-time mode so the dump stays byte-identical.
+      opts->campaign.serialize_faults = true;
+      break;
+    case FaultMode::kOverlap:
+      opts->campaign =
+          fault::reference_overlap_campaign(clusters, nodes, total);
+      break;
+  }
+}
+
 struct RowStats {
   std::uint64_t events;
   double wall_sec;
@@ -75,12 +104,10 @@ struct RowStats {
 };
 
 RowStats run_one(std::size_t clusters, std::uint32_t nodes, SimTime total,
-                 std::uint64_t seed, bool faulty) {
+                 std::uint64_t seed, FaultMode mode) {
   driver::RunOptions opts;
   opts.spec = config::scale_federation_spec(clusters, nodes, total);
-  if (faulty) {
-    opts.campaign = fault::reference_scale_campaign(clusters, nodes, total);
-  }
+  apply_fault_mode(&opts, mode, clusters, nodes, total);
   opts.seed = seed;
   const double t0 = now_sec();
   const driver::RunResult result = driver::run_simulation(opts);
@@ -100,13 +127,11 @@ RowStats run_one(std::size_t clusters, std::uint32_t nodes, SimTime total,
   return row;
 }
 
-void dump_counters(std::uint32_t nodes, bool faulty) {
+void dump_counters(std::uint32_t nodes, FaultMode mode, std::uint64_t seed) {
   driver::RunOptions opts;
   opts.spec = config::scale_federation_spec(10, nodes, minutes(30));
-  if (faulty) {
-    opts.campaign = fault::reference_scale_campaign(10, nodes, minutes(30));
-  }
-  opts.seed = 1;
+  apply_fault_mode(&opts, mode, 10, nodes, minutes(30));
+  opts.seed = seed;
   const driver::RunResult result = driver::run_simulation(opts);
   std::fputs(result.registry.dump().c_str(), stdout);
 }
@@ -118,21 +143,29 @@ int main(int argc, char** argv) {
   for (const std::string& name : flags.names()) {
     if (name != "clusters" && name != "nodes" && name != "seed" &&
         name != "minutes" && name != "sweep" && name != "dump-counters" &&
-        name != "faulty") {
+        name != "faulty" && name != "overlap") {
       std::fprintf(stderr,
                    "unknown flag --%s (known: --clusters --nodes --seed "
-                   "--minutes --sweep --dump-counters --faulty)\n",
+                   "--minutes --sweep --dump-counters --faulty --overlap)\n",
                    name.c_str());
       return 2;
     }
   }
   const auto nodes = static_cast<std::uint32_t>(flags.get_int("nodes", 100));
   const bool faulty = flags.get_bool("faulty", false);
+  const bool overlap = flags.get_bool("overlap", false);
+  if (faulty && overlap) {
+    std::fprintf(stderr, "--faulty and --overlap are mutually exclusive\n");
+    return 2;
+  }
+  const FaultMode mode = faulty ? FaultMode::kFaulty
+                        : overlap ? FaultMode::kOverlap
+                                  : FaultMode::kNone;
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   if (flags.get_bool("dump-counters", false)) {
-    dump_counters(nodes, faulty);
+    dump_counters(nodes, mode, seed);
     return 0;
   }
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const SimTime total = minutes(flags.get_int("minutes", 30));
 
   std::vector<std::size_t> sweep;
@@ -148,12 +181,16 @@ int main(int argc, char** argv) {
   std::printf("scale-out federation — %u nodes/cluster, %s simulated, "
               "ring traffic, CLC timer 5min, GC 10min%s\n\n",
               nodes, to_string(total).c_str(),
-              faulty ? ", reference fault campaign" : "");
+              mode == FaultMode::kFaulty
+                  ? ", reference fault campaign (serialized)"
+                  : mode == FaultMode::kOverlap
+                        ? ", overlap fault campaign (concurrent recoveries)"
+                        : "");
   std::printf("%9s %7s %10s %9s %12s %10s %12s %12s\n", "clusters", "nodes",
               "events", "wall_s", "events/s", "pairs", "max_clcs",
               "gc_saved_B");
   for (const std::size_t c : sweep) {
-    const RowStats row = run_one(c, nodes, total, seed, faulty);
+    const RowStats row = run_one(c, nodes, total, seed, mode);
     std::printf("%9zu %7u %10llu %9.2f %12.0f %10zu %12llu %12llu\n", c,
                 c * nodes, static_cast<unsigned long long>(row.events),
                 row.wall_sec,

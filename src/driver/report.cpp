@@ -62,6 +62,8 @@ std::string render_report(const RunResult& result, std::size_t clusters) {
   os << "failures injected        : " << result.counter("fault.injected")
      << " (skipped mid-recovery: " << result.counter("fault.skipped_overlap")
      << ", deferred: " << result.counter("fault.deferred")
+     << ", queued same-cluster: "
+     << result.counter("fault.queued_same_cluster")
      << ", dropped at quiesce bound: "
      << result.counter("fault.skipped_quiesce") << ")\n";
   os << "cluster rollbacks        : " << result.counter("rollback.count")
@@ -86,8 +88,17 @@ std::string render_report(const RunResult& result, std::size_t clusters) {
   if (!result.incidents.empty()) {
     os << "\n== fault incidents (recovery telemetry) ==\n";
     stats::Table t({"#", "injected", "node", "cluster", "source", "latency",
-                    "rollbacks", "nodes", "alerts", "replay msgs",
+                    "conc", "rollbacks", "nodes", "alerts", "replay msgs",
                     "replay bytes", "lost work (s)", "undone"});
+    const auto cost_cells = [&t](const fault::Incident& inc) {
+      t.cell(inc.rollbacks)
+          .cell(inc.nodes_rolled_back)
+          .cell(inc.alert_fanout)
+          .cell(inc.replayed_msgs)
+          .cell(format_bytes(inc.replayed_bytes))
+          .cell(inc.lost_work_s, 1)
+          .cell(inc.events_undone);
+    };
     for (const fault::Incident& inc : result.incidents) {
       t.row()
           .cell(static_cast<std::uint64_t>(inc.id))
@@ -97,15 +108,27 @@ std::string render_report(const RunResult& result, std::size_t clusters) {
           .cell(std::string(inc.source))
           .cell(inc.recovery_complete ? to_string(inc.recovery_latency())
                                       : std::string("incomplete"))
-          .cell(inc.rollbacks)
-          .cell(inc.nodes_rolled_back)
-          .cell(inc.alert_fanout)
-          .cell(inc.replayed_msgs)
-          .cell(format_bytes(inc.replayed_bytes))
-          .cell(inc.lost_work_s, 1)
-          .cell(inc.events_undone);
+          .cell(static_cast<std::uint64_t>(inc.concurrent_peak));
+      cost_cells(inc);
+    }
+    if (result.fault_summary.has_residual) {
+      // Synthetic row: cost that accrued while no incident interval was
+      // open (cascade tails, post-campaign replay).  Incident rows plus
+      // this row sum exactly to the end-of-run counters.
+      const fault::Incident& res = result.fault_summary.residual;
+      t.row()
+          .cell(std::string("-"))
+          .cell(std::string("-"))
+          .cell(std::string("-"))
+          .cell(std::string("-"))
+          .cell(std::string(res.source))
+          .cell(std::string("-"))
+          .cell(std::string("-"));
+      cost_cells(res);
     }
     os << t.to_ascii();
+    os << "max concurrent recoveries: " << result.fault_summary.max_overlap
+       << "\n";
   }
 
   if (!result.gc_events.empty()) {

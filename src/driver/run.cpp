@@ -163,7 +163,10 @@ RunResult run_simulation(const RunOptions& opts) {
   }
   registry.set("ledger.undone_events", fed.ledger().undone_events());
   registry.set("ledger.total_events", fed.ledger().total_events());
-  if (engine) result.incidents = engine->telemetry().take_incidents();
+  if (engine) {
+    result.fault_summary = engine->telemetry().summary();
+    result.incidents = engine->telemetry().take_incidents();
+  }
   result.registry = registry;
   result.end_time = sim.now();
   result.events_executed = sim.events_executed();

@@ -76,6 +76,9 @@ struct RunResult {
   /// Per-injection recovery cost records (empty for failure-free runs);
   /// rendered as a table by driver/report.
   std::vector<fault::Incident> incidents;
+  /// Residual (unattributed) cost row + concurrency high-water for the
+  /// incident table; `has_residual` is false for failure-free runs.
+  fault::CampaignSummary fault_summary;
   std::vector<std::string> violations;
   SimTime end_time{};
   std::uint64_t events_executed{0};

@@ -1,6 +1,9 @@
 #include "fault/campaign.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <string>
+#include <vector>
 
 #include "util/check.hpp"
 
@@ -128,6 +131,135 @@ Campaign reference_scale_campaign(std::size_t clusters, std::uint32_t nodes,
   trigger.not_before = frac(0.10);
   plan.phase_triggers.push_back(trigger);
   return plan;
+}
+
+Campaign reference_overlap_campaign(std::size_t clusters, std::uint32_t nodes,
+                                    SimTime total) {
+  HC3I_CHECK(clusters >= 4 && nodes >= 4,
+             "reference_overlap_campaign needs >= 4 clusters of >= 4 nodes");
+  const auto frac = [total](double f) {
+    return SimTime{static_cast<std::int64_t>(static_cast<double>(total.ns) * f)};
+  };
+  Campaign plan;  // serialize_faults stays off: overlap is the point
+  // A solo kill well clear of everything else (the single-incident baseline
+  // row of the incident table).
+  plan.kills.push_back(KillSpec{frac(0.20), NodeId{nodes / 2}});
+  // The overlap instant: a cluster-0 kill fires at the same simulated time
+  // as the first kill of each burst below, so four clusters recover
+  // concurrently.
+  plan.kills.push_back(KillSpec{frac(0.30), NodeId{nodes / 2}});
+  // Kill during recovery: 20 ms later — inside cluster 0's recovery window
+  // (detection delay alone is 50 ms) — a second cluster-0 kill queues and
+  // fires at that cluster's recovery completion
+  // (`fault.queued_same_cluster`).
+  plan.kills.push_back(
+      KillSpec{frac(0.30) + milliseconds(20), NodeId{nodes / 2 + 1}});
+  // Overlapping rack loss across disjoint clusters: bursts in clusters 1
+  // and 2 share the same window, a two-kill burst in cluster 3 starts at
+  // the same instant.
+  plan.bursts.push_back(
+      BurstSpec{ClusterId{1}, 3, frac(0.30), frac(0.05), /*first_victim=*/1});
+  plan.bursts.push_back(
+      BurstSpec{ClusterId{2}, 3, frac(0.30), frac(0.05), /*first_victim=*/1});
+  plan.bursts.push_back(
+      BurstSpec{ClusterId{3}, 2, frac(0.30), frac(0.04), /*first_victim=*/0});
+  // Sustained Poisson load on the last cluster for the middle of the run
+  // (redraws at *its* cluster's recovery completion, not a global edge).
+  StreamSpec stream;
+  stream.cluster = ClusterId{static_cast<std::uint32_t>(clusters - 1)};
+  stream.mtbf = frac(0.20);
+  stream.start = frac(0.50);
+  stream.stop = frac(0.90);
+  plan.streams.push_back(stream);
+  // A flaky cluster-0 machine late in the run.
+  plan.repeats.push_back(RepeatSpec{NodeId{1}, 2, frac(0.55), frac(0.15)});
+  // Phase-targeted kill, tolerant of concurrent remote-cluster recoveries.
+  PhaseTriggerSpec trigger;
+  trigger.cluster = ClusterId{0};
+  trigger.phase = Phase::kCommit;
+  trigger.occurrence = 4;
+  trigger.victim = NodeId{2};
+  trigger.not_before = frac(0.10);
+  plan.phase_triggers.push_back(trigger);
+  return plan;
+}
+
+void check_queue_bounds(const Campaign& plan, const config::RunSpec& spec,
+                        SimTime bound) {
+  const auto& topo = spec.topology;
+  // Estimated recovery service time per cluster: failure detection plus the
+  // state transfer that restores the victim from its neighbour's replica.
+  const auto recovery_estimate = [&](std::uint32_t c) {
+    const auto& san = topo.clusters[c].san;
+    SimTime r = spec.timers.detection_delay + san.latency;
+    if (std::isfinite(san.bytes_per_sec)) {
+      r = r + from_seconds_f(
+                  static_cast<double>(spec.application.state_bytes) /
+                  san.bytes_per_sec);
+    }
+    return r;
+  };
+  const auto cluster_of = [&](NodeId n) {
+    std::uint32_t c = 0, base = 0;
+    while (base + topo.clusters[c].nodes <= n.v) base += topo.clusters[c++].nodes;
+    return c;
+  };
+
+  struct ScheduledKill {
+    SimTime at{};
+    std::uint32_t cluster{};
+    std::string injector;
+  };
+  std::vector<ScheduledKill> kills;
+  for (std::size_t i = 0; i < plan.kills.size(); ++i) {
+    const KillSpec& k = plan.kills[i];
+    kills.push_back({k.at, cluster_of(k.victim),
+                     "[kill] #" + std::to_string(i + 1)});
+  }
+  for (std::size_t i = 0; i < plan.bursts.size(); ++i) {
+    const BurstSpec& b = plan.bursts[i];
+    for (std::uint32_t j = 0; j < b.kills; ++j) {
+      const SimTime when =
+          b.kills > 1
+              ? SimTime{b.at.ns +
+                        (b.window.ns * static_cast<std::int64_t>(j)) /
+                            (b.kills - 1)}
+              : b.at;
+      kills.push_back({when, b.cluster.v,
+                       "[burst] #" + std::to_string(i + 1) + " (cluster " +
+                           std::to_string(b.cluster.v) + ")"});
+    }
+  }
+  for (std::size_t i = 0; i < plan.repeats.size(); ++i) {
+    const RepeatSpec& r = plan.repeats[i];
+    for (std::uint32_t j = 0; j < r.times; ++j) {
+      const SimTime when = r.first + r.gap * static_cast<std::int64_t>(j);
+      if (when > bound) break;  // the engine clamps these away anyway
+      kills.push_back({when, cluster_of(r.victim),
+                       "[repeat] #" + std::to_string(i + 1)});
+    }
+  }
+  std::stable_sort(kills.begin(), kills.end(),
+                   [](const ScheduledKill& a, const ScheduledKill& b) {
+                     return a.at < b.at;
+                   });
+
+  // Walk each cluster's kill sequence through a FIFO server: a kill starts
+  // when both its scheduled time and the previous recovery allow it.
+  std::vector<SimTime> busy_until(topo.cluster_count(), SimTime::zero());
+  for (const ScheduledKill& k : kills) {
+    const SimTime start = std::max(k.at, busy_until[k.cluster]);
+    HC3I_CHECK(
+        start <= bound,
+        "campaign " + k.injector + ": kill scheduled at " + to_string(k.at) +
+            " queues behind cluster " + std::to_string(k.cluster) +
+            "'s earlier recoveries until " + to_string(start) +
+            ", past the quiesce bound " + to_string(bound) +
+            " — the same-cluster queue cannot drain (estimated recovery " +
+            to_string(recovery_estimate(k.cluster)) +
+            "; widen the burst window or thin the kills)");
+    busy_until[k.cluster] = start + recovery_estimate(k.cluster);
+  }
 }
 
 }  // namespace hc3i::fault

@@ -114,6 +114,15 @@ struct Campaign {
   std::vector<RepeatSpec> repeats;
   std::vector<PhaseTriggerSpec> phase_triggers;
 
+  /// Legacy serialisation mode: one fault at a time *federation-wide* (the
+  /// paper's §2.1 reading, and the semantics of every run before concurrent
+  /// recoveries landed).  Default off: injections targeting disjoint
+  /// clusters recover concurrently and only same-cluster injections queue
+  /// behind an in-flight recovery (see fault/engine.hpp).  The
+  /// `scale_federation --faulty` CI golden runs with this flag on, pinning
+  /// the legacy byte-identical dumps forever.
+  bool serialize_faults{false};
+
   bool operator==(const Campaign&) const = default;
 
   /// True when no injector is configured (the engine is not even built).
@@ -147,5 +156,28 @@ std::optional<Phase> parse_phase(std::string_view name);
 /// `scale_federation --faulty` CI golden and the fault_campaign example.
 Campaign reference_scale_campaign(std::size_t clusters, std::uint32_t nodes,
                                   SimTime total);
+
+/// The concurrent-recovery variant of the scale-out campaign
+/// (docs/scaling.md "concurrent incidents"): three bursts start at the same
+/// instant in *disjoint* clusters, a scripted kill lands in cluster 0 at
+/// that instant and a second cluster-0 kill 20 ms later exercises the
+/// kill-during-recovery queue (`fault.queued_same_cluster`).  Requires
+/// `clusters >= 4`; `serialize_faults` is left off — this campaign exists
+/// to overlap recoveries.  Used by the `scale_fed_overlap` bench kernel,
+/// the `scale_federation --overlap` CI golden and `fault_campaign
+/// --overlap`.
+Campaign reference_overlap_campaign(std::size_t clusters, std::uint32_t nodes,
+                                    SimTime total);
+
+/// Reject campaigns whose scheduled kills pile into a same-cluster queue
+/// that cannot drain before the quiesce bound (an effectively unbounded
+/// queue: every queued kill past the bound is dropped en masse).  Models
+/// each cluster's recovery as a FIFO server with an estimated service time
+/// of detection delay + SAN latency + state transfer, walks every
+/// time-scheduled kill (scripted, burst, repeat — streams and phase
+/// triggers have no static schedule) and throws CheckFailure naming the
+/// offending injector when a queued kill could not fire before `bound`.
+void check_queue_bounds(const Campaign& plan, const config::RunSpec& spec,
+                        SimTime bound);
 
 }  // namespace hc3i::fault

@@ -30,7 +30,9 @@ CampaignEngine::CampaignEngine(fed::Federation& fed,
       rt_(runtime),
       plan_(std::move(plan)),
       bound_(quiesce_bound),
-      telemetry_(fed.registry(), fed.ledger()) {}
+      serialize_(plan_.serialize_faults),
+      telemetry_(fed.registry(), fed.ledger()),
+      cluster_queue_(fed.topology().cluster_count()) {}
 
 void CampaignEngine::arm() {
   HC3I_CHECK(!armed_, "CampaignEngine::arm called twice");
@@ -80,8 +82,16 @@ void CampaignEngine::arm() {
   }
 
   for (const KillSpec& k : plan_.kills) {
-    sim().schedule_at(k.at,
-                      [this, k] { inject_or_skip(k.victim, "scripted"); });
+    sim().schedule_at(k.at, [this, k] {
+      if (serialize_) {
+        inject_or_skip(k.victim, "scripted");
+      } else {
+        // Concurrent mode: a scripted kill into a recovering cluster is a
+        // deliberate kill-during-recovery — queue it rather than drop it.
+        inject_or_queue_cluster(k.victim, "scripted",
+                                "fault.queued_same_cluster");
+      }
+    });
   }
 
   const net::Topology& topo = fed_.topology();
@@ -97,8 +107,13 @@ void CampaignEngine::arm() {
                                               (b.kills - 1)}
                       : b.at;
       const NodeId victim{base.v + (b.first_victim + j) % size};
-      sim().schedule_at(when,
-                        [this, victim] { inject_or_queue(victim, "burst"); });
+      sim().schedule_at(when, [this, victim] {
+        if (serialize_) {
+          inject_or_queue(victim, "burst");
+        } else {
+          inject_or_queue_cluster(victim, "burst", "fault.deferred");
+        }
+      });
     }
   }
 
@@ -107,8 +122,13 @@ void CampaignEngine::arm() {
       const SimTime when = r.first + r.gap * static_cast<std::int64_t>(j);
       if (when > bound_) break;  // clamp occurrences past the quiesce bound
       const NodeId victim = r.victim;
-      sim().schedule_at(when,
-                        [this, victim] { inject_or_queue(victim, "repeat"); });
+      sim().schedule_at(when, [this, victim] {
+        if (serialize_) {
+          inject_or_queue(victim, "repeat");
+        } else {
+          inject_or_queue_cluster(victim, "repeat", "fault.deferred");
+        }
+      });
     }
   }
 
@@ -161,6 +181,38 @@ void CampaignEngine::inject_or_skip(NodeId victim, const char* source) {
   inject(victim, source);
 }
 
+void CampaignEngine::inject_or_queue_cluster(NodeId victim, const char* source,
+                                             const char* counter) {
+  if (sim().now() > bound_) {
+    // A queued kill drained past the quiesce bound — same ghost-send hazard
+    // as the legacy deferral path above.
+    fed_.registry().inc("fault.skipped_quiesce");
+    return;
+  }
+  const ClusterId c = cluster_of(victim);
+  if (fed_.recovery_pending(c)) {
+    cluster_queue_[c.v].push_back(PendingKill{victim, source, counter});
+    fed_.registry().inc(counter);
+    return;
+  }
+  inject(victim, source);
+}
+
+void CampaignEngine::inject_or_skip_cluster(NodeId victim,
+                                            const char* source) {
+  if (sim().now() > bound_) {
+    fed_.registry().inc("fault.skipped_quiesce");
+    return;
+  }
+  // A remote cluster's concurrent recovery is irrelevant to this trigger's
+  // phase window; only the target cluster's own recovery invalidates it.
+  if (fed_.recovery_pending(cluster_of(victim))) {
+    fed_.registry().inc("fault.skipped_overlap");
+    return;
+  }
+  inject(victim, source);
+}
+
 // ---------------------------------------------------------------------------
 // MTBF streams
 // ---------------------------------------------------------------------------
@@ -176,12 +228,20 @@ void CampaignEngine::schedule_stream_next(std::size_t i) {
 
 void CampaignEngine::stream_fire(std::size_t i) {
   StreamState& st = streams_[i];
-  if (fed_.recovery_pending()) {
+  if (serialize_ && fed_.recovery_pending()) {
     // One fault at a time: a fresh gap is drawn once recovery completes.
     st.deferred = true;
     return;
   }
   const net::Topology& topo = fed_.topology();
+  if (!serialize_ && st.spec.cluster &&
+      fed_.recovery_pending(*st.spec.cluster)) {
+    // Per-cluster stream: its own cluster is recovering.  Block *before*
+    // drawing a victim so the redraw at completion starts from the same
+    // RNG position a never-blocked stream would use.
+    st.blocked_on = *st.spec.cluster;
+    return;
+  }
   NodeId victim;
   if (st.spec.cluster) {
     const ClusterId c = *st.spec.cluster;
@@ -191,6 +251,13 @@ void CampaignEngine::stream_fire(std::size_t i) {
   } else {
     victim = NodeId{
         static_cast<std::uint32_t>(st.rng.next_below(topo.node_count()))};
+  }
+  if (!serialize_ && fed_.recovery_pending(cluster_of(victim))) {
+    // Federation-wide stream: the drawn victim's cluster is mid-recovery.
+    // Block on that cluster; the completion redraw picks gap and victim
+    // afresh.
+    st.blocked_on = cluster_of(victim);
+    return;
   }
   inject(victim, "stream");
   schedule_stream_next(i);
@@ -206,8 +273,13 @@ void CampaignEngine::trigger_matched(TriggerState& t) {
   const NodeId victim = t.spec.victim;
   // Deferred one (zero-delay) event so the kill never mutates network state
   // from inside the protocol handler that reported the phase.
-  sim().schedule_after(SimTime::zero(),
-                       [this, victim] { inject_or_skip(victim, "phase"); });
+  sim().schedule_after(SimTime::zero(), [this, victim] {
+    if (serialize_) {
+      inject_or_skip(victim, "phase");
+    } else {
+      inject_or_skip_cluster(victim, "phase");
+    }
+  });
 }
 
 void CampaignEngine::on_phase1_ack(ClusterId cluster, std::uint64_t /*round*/,
@@ -242,20 +314,42 @@ void CampaignEngine::on_failure_detected(ClusterId cluster,
 
 void CampaignEngine::on_recovery(ClusterId cluster) {
   telemetry_.on_recovery_complete(sim().now(), cluster);
-  if (!pending_.empty()) {
-    // Burst/repeat kills fire the instant the blocking recovery completes,
-    // one per completion (injecting sets recovery_pending again).  Streams
-    // stay deferred until the queue drains.
-    const PendingKill k = pending_.front();
-    pending_.erase(pending_.begin());
+  if (serialize_) {
+    if (!pending_.empty()) {
+      // Burst/repeat kills fire the instant the blocking recovery completes,
+      // one per completion (injecting sets recovery_pending again).  Streams
+      // stay deferred until the queue drains.
+      const PendingKill k = pending_.front();
+      pending_.erase(pending_.begin());
+      sim().schedule_after(SimTime::zero(), [this, k] {
+        inject_or_queue(k.victim, k.source);
+      });
+      return;
+    }
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      if (streams_[i].deferred) {
+        streams_[i].deferred = false;
+        schedule_stream_next(i);
+      }
+    }
+    return;
+  }
+  // Concurrent mode: only *this* cluster's queue unblocks.  One queued kill
+  // fires per completion (re-injecting marks the cluster pending again, so
+  // the rest of the queue drains recovery by recovery); streams blocked on
+  // the cluster stay blocked while its queue holds kills.
+  auto& queue = cluster_queue_[cluster.v];
+  if (!queue.empty()) {
+    const PendingKill k = queue.front();
+    queue.erase(queue.begin());
     sim().schedule_after(SimTime::zero(), [this, k] {
-      inject_or_queue(k.victim, k.source);
+      inject_or_queue_cluster(k.victim, k.source, k.counter);
     });
     return;
   }
   for (std::size_t i = 0; i < streams_.size(); ++i) {
-    if (streams_[i].deferred) {
-      streams_[i].deferred = false;
+    if (streams_[i].blocked_on && *streams_[i].blocked_on == cluster) {
+      streams_[i].blocked_on.reset();
       schedule_stream_next(i);
     }
   }

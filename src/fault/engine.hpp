@@ -3,12 +3,29 @@
 // CampaignEngine — compiles a declarative fault::Campaign into simulator
 // events against a live federation and owns the recovery telemetry.
 //
-// Serialisation model (paper §2.1, one fault at a time):
+// Concurrency model (default): at most one fault in flight *per cluster*.
+// Disjoint-cluster injections recover concurrently — the hierarchy exists
+// precisely so independent cluster failures stay independent — while the
+// paper's §2.1 one-fault assumption is enforced cluster-locally:
 //
-//   * scripted kills that land while a recovery is pending are dropped and
-//     counted under `fault.skipped_overlap` — the exact semantics of the
-//     legacy `driver::ScriptedFailure` path, kept bit-compatible so the
-//     shim reproduces PR-era runs;
+//   * a kill aimed at a cluster that is already recovering queues on that
+//     cluster's FIFO and fires the instant *that cluster's* recovery
+//     completes (scripted kills count `fault.queued_same_cluster`,
+//     burst/repeat kills keep the legacy `fault.deferred` name);
+//   * per-cluster streams block — without consuming a draw — while their
+//     own cluster recovers, and redraw at its completion; federation-wide
+//     streams draw the victim first and block on the victim's cluster;
+//   * phase-targeted triggers skip (`fault.skipped_overlap`) only when
+//     their *own* cluster is recovering — a remote cluster's rollback does
+//     not invalidate "between phase-1 ack and commit" here.
+//
+// Legacy serialisation model (`Campaign::serialize_faults`, the pre-PR-6
+// behaviour, kept bit-compatible for golden reproduction): one fault at a
+// time federation-wide —
+//
+//   * scripted kills that land while any recovery is pending are dropped
+//     and counted under `fault.skipped_overlap` — the exact semantics of
+//     the legacy `driver::ScriptedFailure` path;
 //   * stream firings defer: a fresh exponential gap is drawn when the
 //     blocking recovery completes (the legacy `auto_failures` semantics,
 //     same RNG stream id for the federation-wide shim);
@@ -30,6 +47,7 @@
 // one (seed, campaign) pair always produces a byte-identical counter dump.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "fault/campaign.hpp"
@@ -75,7 +93,9 @@ class CampaignEngine final : public core::ProtocolObserver {
     StreamSpec spec;
     RngStream rng;
     SimTime stop{};        ///< spec.stop clamped to the quiesce bound
-    bool deferred{false};  ///< a firing is waiting for recovery completion
+    bool deferred{false};  ///< legacy mode: waiting for any recovery
+    std::optional<ClusterId> blocked_on{};  ///< concurrent mode: waiting for
+                                            ///< this cluster's recovery
   };
   struct TriggerState {
     PhaseTriggerSpec spec;
@@ -85,6 +105,7 @@ class CampaignEngine final : public core::ProtocolObserver {
   struct PendingKill {
     NodeId victim{};
     const char* source{""};
+    const char* counter{""};  ///< stat bumped each time the kill queues
   };
 
   sim::Simulation& sim() { return fed_.simulation(); }
@@ -92,13 +113,22 @@ class CampaignEngine final : public core::ProtocolObserver {
     return fed_.topology().cluster_of(n);
   }
 
-  /// Inject now (caller ensured no recovery is pending) and open the
+  /// Inject now (caller ensured the victim's cluster is clear) and open the
   /// incident record.
   void inject(NodeId victim, const char* source);
-  /// Inject, or queue FIFO behind the pending recovery (bursts/repeats).
+  /// Legacy: inject, or queue FIFO behind *any* pending recovery
+  /// (bursts/repeats).
   void inject_or_queue(NodeId victim, const char* source);
-  /// Inject, or drop with `fault.skipped_overlap` (kills/phase triggers).
+  /// Legacy: inject, or drop with `fault.skipped_overlap` (kills/phase
+  /// triggers).
   void inject_or_skip(NodeId victim, const char* source);
+  /// Concurrent: inject, or queue on the victim's cluster FIFO, bumping
+  /// `counter` each time it queues.
+  void inject_or_queue_cluster(NodeId victim, const char* source,
+                               const char* counter);
+  /// Concurrent: inject, or drop with `fault.skipped_overlap` iff the
+  /// victim's *own* cluster is recovering (phase triggers).
+  void inject_or_skip_cluster(NodeId victim, const char* source);
 
   void schedule_stream_next(std::size_t i);
   void stream_fire(std::size_t i);
@@ -109,10 +139,12 @@ class CampaignEngine final : public core::ProtocolObserver {
   core::Hc3iRuntime* rt_;
   Campaign plan_;
   SimTime bound_;
+  bool serialize_;  ///< legacy one-fault-federation-wide mode
   RecoveryTelemetry telemetry_;
   std::vector<StreamState> streams_;
   std::vector<TriggerState> triggers_;
-  std::vector<PendingKill> pending_;  ///< FIFO, front at index 0
+  std::vector<PendingKill> pending_;  ///< legacy global FIFO, front at 0
+  std::vector<std::vector<PendingKill>> cluster_queue_;  ///< concurrent FIFOs
   bool armed_{false};
 };
 

@@ -1,10 +1,15 @@
 #include "fault/telemetry.hpp"
 
+#include <algorithm>
+
 namespace hc3i::fault {
 
 RecoveryTelemetry::RecoveryTelemetry(stats::Registry& registry,
                                      const proto::ConsistencyLedger& ledger)
-    : registry_(registry), ledger_(ledger) {}
+    : registry_(registry), ledger_(ledger) {
+  summary_.residual.id = 0;
+  summary_.residual.source = "post-campaign";
+}
 
 RecoveryTelemetry::CostSnapshot RecoveryTelemetry::snapshot() const {
   // Read-only lookups: get() never interns, so telemetry cannot perturb a
@@ -20,18 +25,56 @@ RecoveryTelemetry::CostSnapshot RecoveryTelemetry::snapshot() const {
   return s;
 }
 
-void RecoveryTelemetry::close_window() {
-  if (!window_open_) return;
-  window_open_ = false;
+void RecoveryTelemetry::attribute_segment() {
   const CostSnapshot now = snapshot();
-  Incident& inc = incidents_.back();
-  inc.rollbacks = now.rollbacks - window_start_.rollbacks;
-  inc.nodes_rolled_back = now.nodes - window_start_.nodes;
-  inc.alert_fanout = now.alerts - window_start_.alerts;
-  inc.replayed_msgs = now.resent_msgs - window_start_.resent_msgs;
-  inc.replayed_bytes = now.resent_bytes - window_start_.resent_bytes;
-  inc.events_undone = now.undone - window_start_.undone;
-  inc.lost_work_s = now.lost_work_s - window_start_.lost_work_s;
+  struct Field {
+    std::uint64_t CostSnapshot::*snap;
+    std::uint64_t Incident::*inc;
+  };
+  static constexpr Field kFields[] = {
+      {&CostSnapshot::rollbacks, &Incident::rollbacks},
+      {&CostSnapshot::nodes, &Incident::nodes_rolled_back},
+      {&CostSnapshot::alerts, &Incident::alert_fanout},
+      {&CostSnapshot::resent_msgs, &Incident::replayed_msgs},
+      {&CostSnapshot::resent_bytes, &Incident::replayed_bytes},
+      {&CostSnapshot::undone, &Incident::events_undone},
+  };
+  const std::size_t k = open_.size();
+  if (k == 0) {
+    // No interval covers this segment: the cost is campaign overhead (or a
+    // cascade tail) and lands in the residual row, keeping the table's sum
+    // exact.
+    for (const Field& f : kFields) {
+      summary_.residual.*f.inc += now.*f.snap - last_.*f.snap;
+    }
+    summary_.residual.lost_work_s += now.lost_work_s - last_.lost_work_s;
+  } else {
+    // Interval intersection: every open incident covers this whole segment,
+    // so the delta splits evenly; the oldest absorbs the integer remainder
+    // (and the floating-point one) so sums stay exact.
+    for (const Field& f : kFields) {
+      const std::uint64_t d = now.*f.snap - last_.*f.snap;
+      const std::uint64_t share = d / k;
+      std::uint64_t given = 0;
+      for (std::size_t i = 1; i < k; ++i) {
+        incidents_[open_[i]].*f.inc += share;
+        given += share;
+      }
+      incidents_[open_[0]].*f.inc += d - given;
+    }
+    const double dl = now.lost_work_s - last_.lost_work_s;
+    const double share = dl / static_cast<double>(k);
+    double given = 0.0;
+    for (std::size_t i = 1; i < k; ++i) {
+      incidents_[open_[i]].lost_work_s += share;
+      given += share;
+    }
+    incidents_[open_[0]].lost_work_s += dl - given;
+  }
+  last_ = now;
+}
+
+void RecoveryTelemetry::observe_cost(const Incident& inc) {
   registry_.observe("fault.alert_fanout",
                     static_cast<double>(inc.alert_fanout));
   registry_.observe("fault.replayed_msgs",
@@ -42,36 +85,59 @@ void RecoveryTelemetry::close_window() {
 
 void RecoveryTelemetry::begin_incident(SimTime now, NodeId victim,
                                        ClusterId cluster, const char* source) {
-  close_window();
+  attribute_segment();
   Incident inc;
   inc.id = static_cast<std::uint32_t>(incidents_.size() + 1);
   inc.injected_at = now;
   inc.victim = victim;
   inc.cluster = cluster;
   inc.source = source;
+  open_.push_back(incidents_.size());
   incidents_.push_back(inc);
-  window_start_ = snapshot();
-  window_open_ = true;
+  // Every open incident (including this one) now sees `open_.size()`
+  // concurrent recoveries; bump each one's high-water and the campaign's.
+  const auto overlap = static_cast<std::uint32_t>(open_.size());
+  for (const std::size_t idx : open_) {
+    incidents_[idx].concurrent_peak =
+        std::max(incidents_[idx].concurrent_peak, overlap);
+  }
+  summary_.max_overlap = std::max(summary_.max_overlap, overlap);
 }
 
 void RecoveryTelemetry::on_failure_detected(SimTime now, ClusterId cluster) {
-  if (incidents_.empty()) return;
-  Incident& inc = incidents_.back();
-  if (inc.cluster == cluster && inc.detected_at == SimTime::zero()) {
-    inc.detected_at = now;
+  // At most one incident per cluster is open (the federation enforces one
+  // fault in flight per cluster), so the match is unique.
+  for (const std::size_t idx : open_) {
+    Incident& inc = incidents_[idx];
+    if (inc.cluster == cluster && inc.detected_at == SimTime::zero()) {
+      inc.detected_at = now;
+      return;
+    }
   }
 }
 
 void RecoveryTelemetry::on_recovery_complete(SimTime now, ClusterId cluster) {
-  if (incidents_.empty()) return;
-  Incident& inc = incidents_.back();
-  if (inc.recovery_complete || inc.cluster != cluster) return;
+  const auto it = std::find_if(
+      open_.begin(), open_.end(),
+      [&](std::size_t idx) { return incidents_[idx].cluster == cluster; });
+  if (it == open_.end()) return;  // recovery the engine did not inject
+  attribute_segment();
+  Incident& inc = incidents_[*it];
   inc.recovered_at = now;
   inc.recovery_complete = true;
+  open_.erase(it);
   registry_.observe("fault.recovery_latency_s",
                     inc.recovery_latency().seconds());
+  observe_cost(inc);
 }
 
-void RecoveryTelemetry::finalize(SimTime) { close_window(); }
+void RecoveryTelemetry::finalize(SimTime) {
+  attribute_segment();
+  // Incidents whose recovery never completed close at end of run with their
+  // interval deltas as-is (latency stays zero / flagged incomplete).
+  for (const std::size_t idx : open_) observe_cost(incidents_[idx]);
+  open_.clear();
+  summary_.has_residual = true;
+}
 
 }  // namespace hc3i::fault

@@ -7,22 +7,32 @@
 // run result used to expose only `fault.injected`.  RecoveryTelemetry turns
 // every injection into an Incident record: the engine opens one per kill,
 // the protocol observer stamps detection/rollback facts, the federation's
-// recovery signal stamps the latency, and the per-federation cost deltas
-// (alerts, rollbacks, replayed messages/bytes, ledger events undone, lost
-// work) are measured as registry/ledger differences over the incident's
-// window [injection, next injection or end of run].
+// recovery signal stamps the latency and closes the incident's interval.
 //
-// Windowed deltas make the attribution deterministic and cheap: nothing on
+// Attribution is *per-incident interval*: an incident owns
+// [injection, its own cluster's resume), and federation-wide cost deltas
+// (alerts, rollbacks, replayed messages/bytes, ledger events undone, lost
+// work) are measured as registry/ledger differences over the *segments*
+// between interval edges.  A segment during which k incidents are open
+// splits its delta evenly across the k (integer shares; the oldest open
+// incident absorbs the remainder), which is exactly interval-intersection
+// attribution for concurrently-recovering clusters.  Cost that accrues
+// while *no* incident is open — trailing replay after the last resume,
+// cascade tails between incidents — lands in a synthetic "post-campaign"
+// residual row, so the incident rows plus the residual sum *exactly* to the
+// end-of-run counters.
+//
+// Windowed deltas keep the attribution deterministic and cheap: nothing on
 // the hot path changes, and a (seed, campaign) pair always yields the same
-// incident table.  When incidents are spaced closer than a recovery's
-// cascade settles, trailing replay cost is charged to the *next* incident's
-// window — acceptable for campaign-level reporting and called out in
-// docs/scaling.md.
+// incident table.  Each incident also records how many recoveries were in
+// flight at its injection (`concurrent_peak` is the high-water over its
+// interval), and the telemetry tracks the campaign-wide maximum overlap.
 //
 // Aggregates are also pushed into registry summaries
 // (`fault.recovery_latency_s`, `fault.alert_fanout`, `fault.replayed_msgs`,
 // `fault.nodes_rolled_back`) so reports and benches can read them without
-// walking the table.
+// walking the table.  Summaries never appear in counter dumps, so none of
+// this perturbs golden files.
 
 #include <cstdint>
 #include <vector>
@@ -36,7 +46,7 @@ namespace hc3i::fault {
 
 /// One injected failure and what its recovery cost.
 struct Incident {
-  std::uint32_t id{0};            ///< 1-based injection index
+  std::uint32_t id{0};            ///< 1-based injection index (0 = residual)
   SimTime injected_at{};
   NodeId victim{};
   ClusterId cluster{};
@@ -44,8 +54,9 @@ struct Incident {
   SimTime detected_at{};          ///< failure-detector notification (HC3I)
   SimTime recovered_at{};         ///< faulty cluster's application resume
   bool recovery_complete{false};  ///< recovered_at is valid
+  std::uint32_t concurrent_peak{0};  ///< max incidents open during interval
 
-  // Window deltas (federation-wide costs attributed to this incident).
+  // Interval deltas (federation-wide costs attributed to this incident).
   std::uint64_t rollbacks{0};          ///< cluster rollbacks (origin+cascade)
   std::uint64_t nodes_rolled_back{0};  ///< node-level restores implied
   std::uint64_t alert_fanout{0};       ///< rollback alerts received
@@ -60,28 +71,39 @@ struct Incident {
   }
 };
 
+/// Campaign-level attribution facts the incident table alone cannot show.
+struct CampaignSummary {
+  bool has_residual{false};   ///< residual row is meaningful (run finalized)
+  Incident residual{};        ///< id 0, source "post-campaign": cost accrued
+                              ///< while no incident was open
+  std::uint32_t max_overlap{0};  ///< most recoveries ever in flight at once
+};
+
 /// Observer-side recorder of per-incident recovery cost.
 class RecoveryTelemetry {
  public:
   RecoveryTelemetry(stats::Registry& registry,
                     const proto::ConsistencyLedger& ledger);
 
-  /// A failure was injected: closes the previous incident's window and
-  /// opens a new one.
+  /// A failure was injected: attributes the elapsed segment and opens a new
+  /// incident interval (concurrently with any intervals already open).
   void begin_incident(SimTime now, NodeId victim, ClusterId cluster,
                       const char* source);
   /// The failure detector notified the victim's cluster (HC3I observer).
   void on_failure_detected(SimTime now, ClusterId cluster);
-  /// The faulty cluster's application resumed (federation recovery signal).
+  /// The faulty cluster's application resumed (federation recovery signal):
+  /// attributes the elapsed segment and closes that cluster's incident.
   void on_recovery_complete(SimTime now, ClusterId cluster);
-  /// End of run: close the last open window.
+  /// End of run: attribute the tail segment and close any stuck intervals.
   void finalize(SimTime now);
 
   const std::vector<Incident>& incidents() const { return incidents_; }
   std::vector<Incident> take_incidents() { return std::move(incidents_); }
+  /// Residual row + overlap high-water (valid once finalize() ran).
+  CampaignSummary summary() const { return summary_; }
 
  private:
-  /// Counter values an incident window diffs.
+  /// Counter values the segment attribution diffs.
   struct CostSnapshot {
     std::uint64_t rollbacks{0};
     std::uint64_t nodes{0};
@@ -92,13 +114,17 @@ class RecoveryTelemetry {
     double lost_work_s{0.0};
   };
   CostSnapshot snapshot() const;
-  void close_window();
+  /// Split the delta since `last_` across the open incidents (or into the
+  /// residual when none are open) and advance `last_`.
+  void attribute_segment();
+  void observe_cost(const Incident& inc);
 
   stats::Registry& registry_;
   const proto::ConsistencyLedger& ledger_;
   std::vector<Incident> incidents_;
-  CostSnapshot window_start_{};
-  bool window_open_{false};
+  std::vector<std::size_t> open_;  ///< indices into incidents_, oldest first
+  CostSnapshot last_{};            ///< zero-init: pre-campaign cost → residual
+  CampaignSummary summary_{};
 };
 
 }  // namespace hc3i::fault

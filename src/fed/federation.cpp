@@ -12,7 +12,8 @@ Federation::Federation(sim::Simulation& sim, config::RunSpec spec,
       spec_(std::move(spec)),
       registry_(registry),
       topo_((spec_.validate(), spec_.topology)),
-      network_(sim, topo_, registry) {}
+      network_(sim, topo_, registry),
+      recovery_pending_(topo_.cluster_count(), 0) {}
 
 void Federation::build_agents(const proto::AgentFactory& factory,
                               const std::vector<proto::AppHandle*>& apps) {
@@ -75,14 +76,16 @@ SimTime Federation::state_restore_delay(ClusterId c) const {
 
 void Federation::inject_failure(NodeId victim) {
   HC3I_CHECK(victim.v < topo_.node_count(), "inject_failure: bad node");
-  HC3I_CHECK(!recovery_pending_,
-             "inject_failure: previous recovery still pending "
-             "(the paper assumes one fault at a time)");
+  const ClusterId c = topo_.cluster_of(victim);
+  HC3I_CHECK(!recovery_pending(c),
+             "inject_failure: cluster " + std::to_string(c.v) +
+                 "'s previous recovery is still pending (at most one fault "
+                 "in flight per cluster)");
   HC3I_CHECK(network_.node_up(victim), "inject_failure: node already down");
-  recovery_pending_ = true;
+  recovery_pending_[c.v] = 1;
+  ++recoveries_in_flight_;
   ++failures_;
   registry_.inc("fault.injected");
-  const ClusterId c = topo_.cluster_of(victim);
   HC3I_TRACE(kProtocol, sim_.now(),
              "FAILURE node " << victim.v << " (cluster " << c.v << ")");
   network_.set_node_down(victim);
@@ -103,7 +106,10 @@ void Federation::inject_failure(NodeId victim) {
 void Federation::recovery_complete(ClusterId c) {
   HC3I_TRACE(kProtocol, sim_.now(), "RECOVERY complete (cluster " << c.v << ")");
   registry_.inc("fault.recovery_complete");
-  recovery_pending_ = false;
+  if (recovery_pending_[c.v]) {
+    recovery_pending_[c.v] = 0;
+    --recoveries_in_flight_;
+  }
   if (recovery_listener_) recovery_listener_(c);
 }
 

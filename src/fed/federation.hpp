@@ -13,14 +13,18 @@
 //   <workload learns its agents>
 //   fed.start();
 //
-// Failure model (paper §2.1): fail-stop, one fault at a time.  A victim
-// node stops receiving; after the detection delay the coordinator (first
-// up node) of its cluster gets on_failure_detected(); the victim is
-// restored from its neighbour's stable-storage replica after a state
-// transfer delay.  Injection policy lives outside: the fault-campaign
-// engine (src/fault/engine.hpp) decides *when* and *whom* to kill, calls
-// inject_failure(), and observes recovery_complete() through the recovery
-// listener to serialise faults (one at a time) and to time recoveries.
+// Failure model: fail-stop, at most one fault in flight *per cluster* (the
+// paper's §2.1 "one fault at a time" read cluster-locally — the hierarchy
+// exists precisely so that independent cluster failures recover
+// independently).  A victim node stops receiving; after the detection
+// delay the coordinator (first up node) of its cluster gets
+// on_failure_detected(); the victim is restored from its neighbour's
+// stable-storage replica after a state transfer delay.  Injection policy
+// lives outside: the fault-campaign engine (src/fault/engine.hpp) decides
+// *when* and *whom* to kill, calls inject_failure(), and observes
+// recovery_complete() — which reports *which* cluster finished — through
+// the recovery listener to queue same-cluster kills (or, in legacy
+// serialized mode, every kill) and to time recoveries.
 
 #include <functional>
 #include <memory>
@@ -81,8 +85,15 @@ class Federation {
 
   /// Failures injected so far.
   std::uint32_t failures_injected() const { return failures_; }
-  /// True while a failure's recovery is pending.
-  bool recovery_pending() const { return recovery_pending_; }
+  /// True while any failure's recovery is pending (the legacy serialized
+  /// engine's gate).
+  bool recovery_pending() const { return recoveries_in_flight_ > 0; }
+  /// True while cluster `c`'s own fault recovery is pending.
+  bool recovery_pending(ClusterId c) const {
+    return recovery_pending_[c.v] != 0;
+  }
+  /// Number of clusters currently recovering from an injected fault.
+  std::uint32_t recoveries_in_flight() const { return recoveries_in_flight_; }
 
  private:
   SimTime state_restore_delay(ClusterId c) const;
@@ -95,7 +106,8 @@ class Federation {
   proto::ConsistencyLedger ledger_;
   std::vector<std::unique_ptr<proto::ProtocolAgent>> agents_;
   std::function<void(ClusterId)> recovery_listener_;
-  bool recovery_pending_{false};
+  std::vector<std::uint8_t> recovery_pending_;  ///< per cluster, 0/1
+  std::uint32_t recoveries_in_flight_{0};
   std::uint32_t failures_{0};
 };
 

@@ -351,7 +351,12 @@ void Hc3iAgent::coordinator_begin_round(RoundReason reason) {
 
 void Hc3iAgent::handle_clc_request(const ClcRequest& m) {
   if (m.inc != inc_ || rollback_pending_) return;
-  if (in_round_) return;  // duplicate request (rounds are serialised)
+  if (in_round_) {
+    // Overtaken commit (see pending_request_): hold the newer round's
+    // request; a re-broadcast of the current round stays a no-op.
+    if (m.round > round_) pending_request_ = m;
+    return;
+  }
   in_round_ = true;
   round_ = m.round;
   replica_acks_ = 0;
@@ -513,6 +518,13 @@ void Hc3iAgent::handle_clc_commit(const ClcCommit& m) {
   deferred_.clear();
   for (const net::Envelope& env : arrivals) on_app_message(env);
   drain_wait_queue();
+  if (pending_request_) {
+    // The next round's request overtook this commit on the SAN; join it now
+    // that the round it raced is settled.
+    const ClcRequest held = *pending_request_;
+    pending_request_.reset();
+    handle_clc_request(held);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -568,9 +580,18 @@ void Hc3iAgent::rollback_cluster(proto::ClcRecord rec_arg, bool fault_origin) {
                                    << " inc=" << new_inc
                                    << (fault_origin ? " (fault)" : " (alert)"));
 
-  // 1. Drop this cluster's stale intra-cluster traffic (app and control).
+  // 1. Drop this cluster's stale intra-cluster traffic (app and control) —
+  //    except rollback-alert relays: they carry epoch-independent knowledge
+  //    ("cluster f restored sn X under incarnation i") whose replay triggers
+  //    are deduplicated at the alert, not the relay.  Dropping one here
+  //    (alert relayed in the instant before our own fault applies — only
+  //    reachable with concurrent per-cluster recoveries) would silently
+  //    orphan this node's logged sends into f: no retransmit path exists,
+  //    and the ledger would report them as lost.
   ctx_.network->drop_in_flight([c](const net::Envelope& e) {
-    return e.src_cluster == c && e.dst_cluster == c;
+    if (!(e.src_cluster == c && e.dst_cluster == c)) return false;
+    return payload_as<AlertRelay>(e) == nullptr &&
+           payload_as<RollbackAlert>(e) == nullptr;
   });
 
   // 2. Undo the cluster's post-checkpoint history in the ledger.
@@ -585,7 +606,7 @@ void Hc3iAgent::rollback_cluster(proto::ClcRecord rec_arg, bool fault_origin) {
     peer->apply_cluster_rollback(rec, new_inc, lost_memory);
     peer->lost_memory_idx_.reset();
   }
-  if (fault_origin) pending_fault_recovery_ = true;
+  if (fault_origin) rt_.set_fault_recovery_owed(c);
 
   // 4. Discard the checkpoints of the undone future.
   store().truncate_after(rec.sn);
@@ -606,8 +627,7 @@ void Hc3iAgent::rollback_cluster(proto::ClcRecord rec_arg, bool fault_origin) {
     for (Hc3iAgent* peer : rt_.cluster_agents(cluster())) {
       if (peer->inc_ == new_inc) peer->resume_after_rollback(*rec_sp);
     }
-    if (inc_ == new_inc && pending_fault_recovery_) {
-      pending_fault_recovery_ = false;
+    if (inc_ == new_inc && rt_.take_fault_recovery_owed(cluster())) {
       ctx_.recovery_done(cluster());
     }
   });
@@ -647,6 +667,7 @@ void Hc3iAgent::apply_cluster_rollback(const proto::ClcRecord& rec,
   deferred_.clear();
   queued_sends_.clear();
   post_rollback_stash_.clear();
+  pending_request_.reset();  // pre-rollback round; its inc is stale anyway
   in_round_ = false;
   tentative_.reset();
   round_active_ = false;

@@ -167,13 +167,20 @@ class Hc3iAgent : public proto::AgentBase {
   std::vector<QueuedSend> queued_sends_;    ///< issued during a 2PC round
   bool in_round_{false};
   std::uint64_t round_{0};                  ///< round currently joined
+  /// A ClcRequest for a round NEWER than the one we're in: the previous
+  /// round's commit carries the merged DDV, so it is larger and slower on
+  /// the SAN than the next round's request — when the coordinator opens the
+  /// next round at commit time, the request can overtake the commit.
+  /// Dropping it would deadlock the new round (no ack, no retransmit);
+  /// instead it is held here and replayed once our commit lands.  Rounds
+  /// are serialised, so at most one can be pending.
+  std::optional<ClcRequest> pending_request_;
   std::uint32_t replica_acks_{0};
   std::optional<proto::NodePart> tentative_;
   std::optional<std::uint32_t> lost_memory_idx_;  ///< failed node (this fault)
 
   // Rollback bookkeeping.
   bool rollback_pending_{false};            ///< protocol restored, app not yet
-  bool pending_fault_recovery_{false};      ///< signal injector at resume
   std::vector<net::Envelope> post_rollback_stash_;
   struct RollbackInfo {
     Incarnation inc;

@@ -11,6 +11,7 @@ Hc3iRuntime::Hc3iRuntime(const config::RunSpec& spec, Hc3iOptions opts)
   spec_.validate();
   const std::size_t n = spec_.topology.cluster_count();
   incarnations_.assign(n, 0);
+  fault_recovery_owed_.assign(n, 0);
   agents_.resize(n);
   stores_.reserve(n);
   for (std::size_t c = 0; c < n; ++c) {

@@ -24,6 +24,7 @@
 #include "hc3i/options.hpp"
 #include "proto/agent.hpp"
 #include "proto/clc_store.hpp"
+#include "util/check.hpp"
 #include "util/ids.hpp"
 #include "util/time.hpp"
 
@@ -111,6 +112,26 @@ class Hc3iRuntime {
   /// The installed observer, or nullptr (the common, failure-free case).
   ProtocolObserver* observer() const { return observer_; }
 
+  /// Mark cluster `c` as owing a recovery_done() signal for an injected
+  /// fault.  The flag is cluster-level (not agent-level) because the
+  /// rollback that pays the debt may be superseded by a cascade routed
+  /// through a *different* agent of the same cluster; whichever resume
+  /// survives at the latest incarnation consumes the flag.
+  void set_fault_recovery_owed(ClusterId c) {
+    HC3I_CHECK(c.v < fault_recovery_owed_.size(),
+               "set_fault_recovery_owed: bad cluster");
+    fault_recovery_owed_[c.v] = 1;
+  }
+  /// Consume the owed-recovery flag of cluster `c`; returns whether it was
+  /// set.
+  bool take_fault_recovery_owed(ClusterId c) {
+    HC3I_CHECK(c.v < fault_recovery_owed_.size(),
+               "take_fault_recovery_owed: bad cluster");
+    const bool owed = fault_recovery_owed_[c.v] != 0;
+    fault_recovery_owed_[c.v] = 0;
+    return owed;
+  }
+
  private:
   config::RunSpec spec_;
   Hc3iOptions opts_;
@@ -118,6 +139,7 @@ class Hc3iRuntime {
   std::vector<Incarnation> incarnations_;
   std::vector<std::vector<Hc3iAgent*>> agents_;  ///< [cluster][local index]
   std::vector<GcEvent> gc_events_;
+  std::vector<std::uint8_t> fault_recovery_owed_;  ///< per cluster, 0/1
   ProtocolObserver* observer_{nullptr};
 };
 

@@ -50,6 +50,7 @@ TEST(Campaign, ScriptedKillViaCampaignInjects) {
 
 TEST(Campaign, BurstSerialisesRackLoss) {
   auto opts = small_opts(2, 4);
+  opts.campaign.serialize_faults = true;  // the legacy one-fault-at-a-time mode
   fault::BurstSpec burst;
   burst.cluster = ClusterId{1};
   burst.kills = 3;
@@ -392,14 +393,22 @@ TEST(Campaign, IncidentWindowsPartitionTheRunCosts) {
     EXPECT_GE(inc.rollbacks, 1u);
     EXPECT_GE(inc.nodes_rolled_back, 3u);  // at least the faulty cluster
   }
-  // The windows tile the run, so the per-incident deltas sum exactly to the
-  // end-of-run counters.
-  EXPECT_EQ(rollbacks, result.counter("rollback.count"));
-  EXPECT_EQ(nodes, result.counter("rollback.nodes"));
-  EXPECT_EQ(alerts, result.counter("rollback.alerts"));
-  EXPECT_EQ(replayed_msgs, result.counter("log.resent_msgs"));
-  EXPECT_EQ(replayed_bytes, result.counter("log.resent_bytes"));
-  EXPECT_EQ(undone, result.counter("ledger.undone_events"));
+  // Incident intervals plus the post-campaign residual tile the run, so the
+  // deltas sum *exactly* to the end-of-run counters.
+  ASSERT_TRUE(result.fault_summary.has_residual);
+  const fault::Incident& res = result.fault_summary.residual;
+  EXPECT_STREQ(res.source, "post-campaign");
+  EXPECT_EQ(rollbacks + res.rollbacks, result.counter("rollback.count"));
+  EXPECT_EQ(nodes + res.nodes_rolled_back, result.counter("rollback.nodes"));
+  EXPECT_EQ(alerts + res.alert_fanout, result.counter("rollback.alerts"));
+  EXPECT_EQ(replayed_msgs + res.replayed_msgs,
+            result.counter("log.resent_msgs"));
+  EXPECT_EQ(replayed_bytes + res.replayed_bytes,
+            result.counter("log.resent_bytes"));
+  EXPECT_EQ(undone + res.events_undone,
+            result.counter("ledger.undone_events"));
+  // Serial incidents: never more than one recovery in flight.
+  EXPECT_EQ(result.fault_summary.max_overlap, 1u);
   EXPECT_TRUE(result.violations.empty());
 }
 
@@ -421,6 +430,7 @@ TEST(Campaign, ReportRendersRecoveryCountersAndIncidentTable) {
 
 fault::Campaign full_campaign() {
   fault::Campaign plan;
+  plan.serialize_faults = true;  // round-trips through [options]
   plan.kills.push_back(fault::KillSpec{minutes(6), NodeId{5}});
   plan.kills.push_back(fault::KillSpec{minutes(9), NodeId{0}});
   fault::StreamSpec fed_stream;
