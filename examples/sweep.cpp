@@ -1,0 +1,199 @@
+// Sharded sweep driver: parameter sweeps as a service.
+//
+// Expands a topology x campaign x seed grid and shards the runs across
+// worker threads, each worker owning its full simulation context (payload
+// pools included — see src/batch/ and driver/sim_context.hpp).  Per-run
+// results are byte-identical to solo single-threaded runs of the same
+// (spec, seed) regardless of thread count; the aggregated report is in grid
+// order, independent of scheduling.
+//
+//   ./sweep                                        # 2,5,10-cluster grid x 3 seeds
+//   ./sweep --clusters=2,5,10 --campaigns=none,faulty --seeds=1..5
+//   ./sweep --nodes=50 --minutes=10 --threads=4 --json
+//   ./sweep --config=my_sweep.ini                  # the sweep config kind
+//                                                  #   (batch::parse_sweep)
+//   ./sweep --grid=determinism                     # CI seed-grid check: the
+//                                                  #   10x100 overlap scenario,
+//                                                  #   10 seeds x 2 runs, every
+//                                                  #   pair byte-compared
+//
+// --campaigns kinds: none (failure-free), faulty (the reference campaign in
+// legacy serialized mode, as the --faulty golden), overlap (concurrent
+// per-cluster recoveries; needs >= 4 clusters).
+//
+// Exit status: 0 all runs clean, 1 any violation/mismatch, 2 usage error.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "batch/runner.hpp"
+#include "batch/sweep.hpp"
+#include "config/parser.hpp"
+#include "util/check.hpp"
+#include "util/flags.hpp"
+#include "util/quantity.hpp"
+
+using namespace hc3i;
+
+namespace {
+
+/// Split "a,b,c" into non-empty tokens.
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok =
+        s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) out.push_back(tok);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// The CI determinism grid: every seed of the overlap scenario run twice
+/// (threads-many shards each pass), each pair's counter dumps byte-compared.
+/// This is the promotion of the PR 6 hand-rolled 3-seed shell loop to a
+/// 10-seed grid the sharded runner can afford inside the CI budget.
+int run_determinism_grid(std::size_t threads) {
+  batch::SweepSpec sweep;
+  sweep.topologies = {batch::scale_topology(10, 100, minutes(30))};
+  sweep.campaigns = {batch::overlap_campaign()};
+  for (std::uint64_t s = 1; s <= 10; ++s) sweep.seeds.push_back(s);
+
+  batch::RunnerOptions opts;
+  opts.threads = threads;
+  opts.keep_dumps = true;
+  const batch::Runner runner(opts);
+  std::printf("determinism grid: %zu runs x 2 passes (overlap 10x100)\n",
+              sweep.runs());
+  const batch::BatchReport a = runner.run(sweep);
+  const batch::BatchReport b = runner.run(sweep);
+
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < a.cases.size(); ++i) {
+    const batch::CaseResult& ca = a.cases[i];
+    const batch::CaseResult& cb = b.cases[i];
+    const bool same = ca.ok && cb.ok && ca.dump == cb.dump;
+    if (!same) ++mismatches;
+    std::printf("  seed %-3llu %s\n",
+                static_cast<unsigned long long>(ca.seed),
+                same ? "ok (byte-identical)"
+                     : !ca.ok || !cb.ok ? "FAILED RUN" : "DUMP MISMATCH");
+  }
+  std::printf("%s: %zu seeds, %.2f s + %.2f s wall (%zu threads)\n",
+              mismatches == 0 ? "PASS" : "FAIL", a.cases.size(), a.wall_sec,
+              b.wall_sec, a.threads);
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  for (const std::string& name : flags.names()) {
+    if (name != "clusters" && name != "nodes" && name != "minutes" &&
+        name != "campaigns" && name != "seeds" && name != "threads" &&
+        name != "json" && name != "config" && name != "grid" &&
+        name != "protocol") {
+      std::fprintf(stderr,
+                   "unknown flag --%s (known: --clusters --nodes --minutes "
+                   "--campaigns --seeds --threads --json --config --grid "
+                   "--protocol)\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+  const auto threads =
+      static_cast<std::size_t>(flags.get_int("threads", 0));
+
+  const std::string grid = flags.get("grid", "");
+  if (!grid.empty()) {
+    if (grid != "determinism") {
+      std::fprintf(stderr, "unknown --grid=%s (known: determinism)\n",
+                   grid.c_str());
+      return 2;
+    }
+    return run_determinism_grid(threads);
+  }
+
+  batch::SweepSpec sweep;
+  const std::string config_path = flags.get("config", "");
+  if (!config_path.empty()) {
+    try {
+      sweep = batch::parse_sweep(config::read_file(config_path), config_path);
+    } catch (const config::ParseError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  } else {
+    const auto nodes =
+        static_cast<std::uint32_t>(flags.get_int("nodes", 100));
+    const SimTime total = minutes(flags.get_int("minutes", 10));
+    for (const std::string& tok : split_list(flags.get("clusters", "2,5,10"))) {
+      const auto v = parse_uint(tok);
+      if (!v || *v < 1) {
+        std::fprintf(stderr, "--clusters wants counts >= 1, got '%s'\n",
+                     tok.c_str());
+        return 2;
+      }
+      sweep.topologies.push_back(
+          batch::scale_topology(static_cast<std::size_t>(*v), nodes, total));
+    }
+    for (const std::string& tok : split_list(flags.get("campaigns", "none"))) {
+      if (tok == "none") {
+        sweep.campaigns.push_back(batch::no_campaign());
+      } else if (tok == "faulty") {
+        sweep.campaigns.push_back(batch::reference_campaign());
+      } else if (tok == "overlap") {
+        sweep.campaigns.push_back(batch::overlap_campaign());
+      } else {
+        std::fprintf(stderr, "--campaigns wants none|faulty|overlap, got "
+                             "'%s'\n", tok.c_str());
+        return 2;
+      }
+    }
+    try {
+      sweep.seeds = batch::parse_seed_list(flags.get("seeds", "1..3"),
+                                           "--seeds");
+    } catch (const config::ParseError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    const std::string proto = flags.get("protocol", "hc3i");
+    if (proto == "hc3i") {
+      sweep.protocol = driver::ProtocolKind::kHc3i;
+    } else if (proto == "independent") {
+      sweep.protocol = driver::ProtocolKind::kIndependent;
+    } else if (proto == "coordinated-global") {
+      sweep.protocol = driver::ProtocolKind::kCoordinatedGlobal;
+    } else if (proto == "pessimistic-log") {
+      sweep.protocol = driver::ProtocolKind::kPessimisticLog;
+    } else if (proto == "hierarchical-coordinated") {
+      sweep.protocol = driver::ProtocolKind::kHierarchicalCoordinated;
+    } else {
+      std::fprintf(stderr, "unknown --protocol=%s\n", proto.c_str());
+      return 2;
+    }
+  }
+
+  batch::RunnerOptions opts;
+  opts.threads = threads;
+  const batch::Runner runner(opts);
+  batch::BatchReport report;
+  try {
+    report = runner.run(sweep);
+  } catch (const CheckFailure& e) {
+    std::fprintf(stderr, "invalid sweep: %s\n", e.what());
+    return 2;
+  }
+
+  if (flags.get_bool("json", false)) {
+    std::fputs(report.to_json().c_str(), stdout);
+  } else {
+    std::fputs(report.render_table().c_str(), stdout);
+  }
+  return report.failures() == 0 ? 0 : 1;
+}

@@ -1,0 +1,187 @@
+#include "batch/report.hpp"
+
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace hc3i::batch {
+
+namespace {
+
+/// printf into a growing string (the repo's tables are printf-formatted).
+template <typename... Args>
+void appendf(std::string* out, const char* fmt, Args... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  *out += buf;
+}
+
+/// Escape the few characters a CheckFailure message could smuggle into a
+/// JSON string.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          appendf(&out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t BatchReport::total_events() const {
+  std::uint64_t n = 0;
+  for (const CaseResult& c : cases) n += c.events;
+  return n;
+}
+
+std::size_t BatchReport::failures() const {
+  std::size_t n = 0;
+  for (const CaseResult& c : cases) {
+    if (!c.ok) ++n;
+  }
+  return n;
+}
+
+double BatchReport::runs_per_min() const {
+  return wall_sec > 0 ? 60.0 * static_cast<double>(cases.size()) / wall_sec
+                      : 0.0;
+}
+
+std::string BatchReport::render_table() const {
+  // Aggregate per (topology, campaign) cell, in first-appearance (grid)
+  // order.
+  struct Cell {
+    std::size_t runs{0};
+    std::uint64_t events{0};
+    double wall_sec{0.0};
+    std::uint64_t clcs{0}, faults{0}, rollbacks{0}, replayed{0};
+    std::size_t failed{0};
+  };
+  std::vector<std::pair<std::pair<std::string, std::string>, Cell>> cells;
+  for (const CaseResult& c : cases) {
+    const auto key = std::make_pair(c.topology, c.campaign);
+    Cell* cell = nullptr;
+    for (auto& [k, v] : cells) {
+      if (k == key) {
+        cell = &v;
+        break;
+      }
+    }
+    if (!cell) {
+      cells.emplace_back(key, Cell{});
+      cell = &cells.back().second;
+    }
+    ++cell->runs;
+    cell->events += c.events;
+    cell->wall_sec += c.wall_sec;
+    cell->clcs += c.clcs;
+    cell->faults += c.faults;
+    cell->rollbacks += c.rollbacks;
+    cell->replayed += c.replayed;
+    if (!c.ok) ++cell->failed;
+  }
+
+  std::string out;
+  appendf(&out, "%-16s %-10s %5s %12s %11s %7s %7s %7s %7s %6s\n", "topology",
+          "campaign", "runs", "events", "ev/s", "clcs", "faults", "rb",
+          "replay", "fail");
+  for (const auto& [key, cell] : cells) {
+    appendf(&out, "%-16s %-10s %5zu %12llu %11.0f %7llu %7llu %7llu %7llu "
+                  "%6zu\n",
+            key.first.c_str(), key.second.c_str(), cell.runs,
+            static_cast<unsigned long long>(cell.events),
+            cell.wall_sec > 0
+                ? static_cast<double>(cell.events) / cell.wall_sec
+                : 0.0,
+            static_cast<unsigned long long>(cell.clcs),
+            static_cast<unsigned long long>(cell.faults),
+            static_cast<unsigned long long>(cell.rollbacks),
+            static_cast<unsigned long long>(cell.replayed), cell.failed);
+  }
+  std::uint64_t reused = 0, fresh = 0;
+  for (const WorkerStats& w : workers) {
+    reused += w.pool_reused;
+    fresh += w.pool_fresh;
+  }
+  const double reuse_pct =
+      reused + fresh > 0
+          ? 100.0 * static_cast<double>(reused) /
+                static_cast<double>(reused + fresh)
+          : 0.0;
+  appendf(&out,
+          "\n%zu runs on %zu thread%s in %.2f s — %.1f runs/min, %llu "
+          "events, pool reuse %.1f%%\n",
+          cases.size(), threads, threads == 1 ? "" : "s", wall_sec,
+          runs_per_min(), static_cast<unsigned long long>(total_events()),
+          reuse_pct);
+  const std::size_t failed = failures();
+  if (failed > 0) {
+    appendf(&out, "%zu FAILED case%s:\n", failed, failed == 1 ? "" : "s");
+    for (const CaseResult& c : cases) {
+      if (c.ok) continue;
+      appendf(&out, "  %s/%s s=%llu: %s\n", c.topology.c_str(),
+              c.campaign.c_str(), static_cast<unsigned long long>(c.seed),
+              c.error.empty()
+                  ? (std::to_string(c.violations) + " consistency violations")
+                        .c_str()
+                  : c.error.c_str());
+    }
+  }
+  return out;
+}
+
+std::string BatchReport::to_json() const {
+  std::string out = "{\n";
+  appendf(&out,
+          "  \"threads\": %zu,\n  \"runs\": %zu,\n  \"failures\": %zu,\n"
+          "  \"wall_sec\": %.6f,\n  \"runs_per_min\": %.2f,\n"
+          "  \"total_events\": %llu,\n",
+          threads, cases.size(), failures(), wall_sec, runs_per_min(),
+          static_cast<unsigned long long>(total_events()));
+  out += "  \"workers\": [\n";
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const WorkerStats& w = workers[i];
+    appendf(&out,
+            "    {\"runs\": %zu, \"wall_sec\": %.6f, \"pool_reused\": %llu, "
+            "\"pool_fresh\": %llu}%s\n",
+            w.runs, w.wall_sec, static_cast<unsigned long long>(w.pool_reused),
+            static_cast<unsigned long long>(w.pool_fresh),
+            i + 1 < workers.size() ? "," : "");
+  }
+  out += "  ],\n  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& c = cases[i];
+    appendf(&out,
+            "    {\"topology\": \"%s\", \"campaign\": \"%s\", \"seed\": %llu, "
+            "\"ok\": %s, \"events\": %llu, \"violations\": %llu, "
+            "\"clcs\": %llu, \"faults\": %llu, \"rollbacks\": %llu, "
+            "\"replayed\": %llu, \"wall_sec\": %.6f%s%s%s}%s\n",
+            json_escape(c.topology).c_str(), json_escape(c.campaign).c_str(),
+            static_cast<unsigned long long>(c.seed), c.ok ? "true" : "false",
+            static_cast<unsigned long long>(c.events),
+            static_cast<unsigned long long>(c.violations),
+            static_cast<unsigned long long>(c.clcs),
+            static_cast<unsigned long long>(c.faults),
+            static_cast<unsigned long long>(c.rollbacks),
+            static_cast<unsigned long long>(c.replayed), c.wall_sec,
+            c.error.empty() ? "" : ", \"error\": \"",
+            c.error.empty() ? "" : json_escape(c.error).c_str(),
+            c.error.empty() ? "" : "\"", i + 1 < cases.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace hc3i::batch

@@ -1,0 +1,324 @@
+#include "batch/sweep.hpp"
+
+#include <utility>
+
+#include "config/parser.hpp"
+#include "config/presets.hpp"
+#include "util/check.hpp"
+#include "util/quantity.hpp"
+
+namespace hc3i::batch {
+
+namespace {
+
+/// Campaign for one (campaign point, topology) cell, or null for kNone.
+/// Reference kinds scale with the topology; explicit plans pass through.
+std::shared_ptr<const fault::Campaign> materialize(
+    const CampaignPoint& point, const config::RunSpec& spec) {
+  switch (point.kind) {
+    case CampaignPoint::Kind::kNone:
+      return nullptr;
+    case CampaignPoint::Kind::kReference: {
+      auto plan = std::make_shared<fault::Campaign>(
+          fault::reference_scale_campaign(spec.topology.cluster_count(),
+                                          spec.topology.clusters[0].nodes,
+                                          spec.application.total_time));
+      // The reference campaign's golden history predates concurrent
+      // recoveries; it always runs in legacy serialized mode (the same
+      // pinning scale_federation --faulty applies).
+      plan->serialize_faults = true;
+      return plan;
+    }
+    case CampaignPoint::Kind::kOverlap:
+      return std::make_shared<fault::Campaign>(
+          fault::reference_overlap_campaign(spec.topology.cluster_count(),
+                                            spec.topology.clusters[0].nodes,
+                                            spec.application.total_time));
+    case CampaignPoint::Kind::kExplicit:
+      return point.plan;
+  }
+  HC3I_UNREACHABLE("bad CampaignPoint::Kind");
+}
+
+}  // namespace
+
+void SweepSpec::validate() const {
+  HC3I_CHECK(!topologies.empty(), "sweep: no topology points");
+  HC3I_CHECK(!campaigns.empty(), "sweep: no campaign points");
+  HC3I_CHECK(!seeds.empty(), "sweep: no seeds");
+  for (const TopologyPoint& t : topologies) {
+    HC3I_CHECK(!t.name.empty(), "sweep: unnamed topology point");
+    HC3I_CHECK(t.spec != nullptr,
+               "sweep: topology point '" + t.name + "' has no spec");
+    t.spec->validate();
+  }
+  for (const CampaignPoint& c : campaigns) {
+    HC3I_CHECK(!c.name.empty(), "sweep: unnamed campaign point");
+    if (c.kind == CampaignPoint::Kind::kExplicit) {
+      HC3I_CHECK(c.plan != nullptr,
+                 "sweep: explicit campaign '" + c.name + "' has no plan");
+    }
+    for (const TopologyPoint& t : topologies) {
+      if (c.kind == CampaignPoint::Kind::kOverlap) {
+        HC3I_CHECK(t.spec->topology.cluster_count() >= 4,
+                   "sweep: campaign '" + c.name +
+                       "' (overlap) needs >= 4 clusters; topology '" +
+                       t.name + "' has fewer");
+      }
+      if (c.kind == CampaignPoint::Kind::kReference) {
+        HC3I_CHECK(t.spec->topology.cluster_count() >= 2 &&
+                       t.spec->topology.clusters[0].nodes >= 4,
+                   "sweep: campaign '" + c.name +
+                       "' (reference) needs >= 2 clusters of >= 4 nodes; "
+                       "topology '" + t.name + "' is smaller");
+      }
+      if (c.plan) c.plan->validate(t.spec->topology);
+    }
+  }
+}
+
+std::string RunCase::name() const {
+  return topology + "/" + campaign + " s=" + std::to_string(seed);
+}
+
+driver::RunOptions RunCase::options() const {
+  driver::RunOptions opts;
+  opts.spec = *spec;  // per-run copy; the shared original stays read-only
+  opts.seed = seed;
+  opts.protocol = protocol;
+  if (plan) opts.campaign = *plan;
+  return opts;
+}
+
+std::vector<RunCase> expand(const SweepSpec& sweep) {
+  sweep.validate();
+  std::vector<RunCase> cases;
+  cases.reserve(sweep.runs());
+  for (const TopologyPoint& topo : sweep.topologies) {
+    for (const CampaignPoint& camp : sweep.campaigns) {
+      // One materialised plan per grid cell, shared by that cell's seeds.
+      const auto plan = materialize(camp, *topo.spec);
+      for (const std::uint64_t seed : sweep.seeds) {
+        RunCase rc;
+        rc.index = cases.size();
+        rc.topology = topo.name;
+        rc.campaign = camp.name;
+        rc.seed = seed;
+        rc.protocol = sweep.protocol;
+        rc.spec = topo.spec;
+        rc.plan = plan;
+        cases.push_back(std::move(rc));
+      }
+    }
+  }
+  return cases;
+}
+
+TopologyPoint scale_topology(std::size_t clusters, std::uint32_t nodes,
+                             SimTime total) {
+  TopologyPoint point;
+  point.name = "scale_" + std::to_string(clusters) + "x" +
+               std::to_string(nodes);
+  point.spec = std::make_shared<const config::RunSpec>(
+      config::scale_federation_spec(clusters, nodes, total));
+  return point;
+}
+
+TopologyPoint small_topology(std::size_t clusters, std::uint32_t nodes) {
+  TopologyPoint point;
+  point.name = "small_" + std::to_string(clusters) + "x" +
+               std::to_string(nodes);
+  point.spec = std::make_shared<const config::RunSpec>(
+      config::small_test_spec(clusters, nodes));
+  return point;
+}
+
+CampaignPoint no_campaign() {
+  return CampaignPoint{"none", CampaignPoint::Kind::kNone, nullptr};
+}
+
+CampaignPoint reference_campaign() {
+  return CampaignPoint{"faulty", CampaignPoint::Kind::kReference, nullptr};
+}
+
+CampaignPoint overlap_campaign() {
+  return CampaignPoint{"overlap", CampaignPoint::Kind::kOverlap, nullptr};
+}
+
+CampaignPoint explicit_campaign(std::string name, fault::Campaign plan) {
+  return CampaignPoint{std::move(name), CampaignPoint::Kind::kExplicit,
+                       std::make_shared<const fault::Campaign>(
+                           std::move(plan))};
+}
+
+namespace {
+
+using config::ParseError;
+using config::Section;
+
+[[noreturn]] void fail(const std::string& origin, int line,
+                       const std::string& what) {
+  throw ParseError(origin + ":" + std::to_string(line) + ": " + what);
+}
+
+std::uint64_t want_uint(const Section& sec, const std::string& origin,
+                        const std::string& key, std::uint64_t def) {
+  const auto it = sec.values.find(key);
+  if (it == sec.values.end()) return def;
+  const auto v = parse_uint(it->second);
+  if (!v) fail(origin, sec.line, "bad " + key + " '" + it->second + "'");
+  return *v;
+}
+
+driver::ProtocolKind parse_protocol(const std::string& name,
+                                    const std::string& origin, int line) {
+  if (name == "hc3i") return driver::ProtocolKind::kHc3i;
+  if (name == "independent") return driver::ProtocolKind::kIndependent;
+  if (name == "coordinated-global") {
+    return driver::ProtocolKind::kCoordinatedGlobal;
+  }
+  if (name == "pessimistic-log") return driver::ProtocolKind::kPessimisticLog;
+  if (name == "hierarchical-coordinated") {
+    return driver::ProtocolKind::kHierarchicalCoordinated;
+  }
+  fail(origin, line, "unknown protocol '" + name + "'");
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> parse_seed_list(const std::string& text,
+                                           const std::string& origin) {
+  std::vector<std::uint64_t> seeds;
+  const std::size_t dots = text.find("..");
+  if (dots != std::string::npos) {
+    const auto lo = parse_uint(text.substr(0, dots));
+    const auto hi = parse_uint(text.substr(dots + 2));
+    if (!lo || !hi || *hi < *lo) {
+      throw ParseError(origin + ": bad seed range '" + text + "'");
+    }
+    for (std::uint64_t s = *lo; s <= *hi; ++s) seeds.push_back(s);
+    return seeds;
+  }
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string tok = text.substr(
+        pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) {
+      const auto v = parse_uint(tok);
+      if (!v) throw ParseError(origin + ": bad seed '" + tok + "'");
+      seeds.push_back(*v);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (seeds.empty()) {
+    throw ParseError(origin + ": empty seed list '" + text + "'");
+  }
+  return seeds;
+}
+
+SweepSpec parse_sweep(std::string_view text, const std::string& origin) {
+  SweepSpec sweep;
+  bool saw_sweep = false;
+  for (const Section& sec : config::parse_sections(text, origin)) {
+    if (sec.name == "sweep") {
+      if (saw_sweep) fail(origin, sec.line, "duplicate [sweep] section");
+      saw_sweep = true;
+      for (const auto& [key, value] : sec.values) {
+        if (key == "seeds") {
+          sweep.seeds = parse_seed_list(
+              value, origin + ":" + std::to_string(sec.line));
+        } else if (key == "protocol") {
+          sweep.protocol = parse_protocol(value, origin, sec.line);
+        } else {
+          fail(origin, sec.line, "unknown [sweep] key '" + key + "'");
+        }
+      }
+    } else if (sec.name == "topology") {
+      if (sec.args.size() != 1) {
+        fail(origin, sec.line, "[topology] wants exactly one name argument");
+      }
+      const std::string preset =
+          sec.values.count("preset") ? sec.values.at("preset") : "scale";
+      const auto clusters =
+          static_cast<std::size_t>(want_uint(sec, origin, "clusters", 2));
+      const auto nodes =
+          static_cast<std::uint32_t>(want_uint(sec, origin, "nodes", 100));
+      if (clusters < 1 || nodes < 1) {
+        fail(origin, sec.line, "clusters and nodes must be >= 1");
+      }
+      for (const auto& [key, value] : sec.values) {
+        (void)value;
+        if (key != "preset" && key != "clusters" && key != "nodes" &&
+            key != "minutes") {
+          fail(origin, sec.line, "unknown [topology] key '" + key + "'");
+        }
+      }
+      TopologyPoint point;
+      if (preset == "scale") {
+        point = scale_topology(
+            clusters, nodes,
+            minutes(static_cast<std::int64_t>(
+                want_uint(sec, origin, "minutes", 30))));
+      } else if (preset == "small") {
+        point = small_topology(clusters, nodes);
+        if (sec.values.count("minutes")) {
+          auto spec = std::make_shared<config::RunSpec>(*point.spec);
+          spec->application.total_time = minutes(static_cast<std::int64_t>(
+              want_uint(sec, origin, "minutes", 30)));
+          point.spec = std::move(spec);
+        }
+      } else {
+        fail(origin, sec.line, "unknown topology preset '" + preset +
+                                   "' (known: scale, small)");
+      }
+      point.name = sec.args[0];
+      sweep.topologies.push_back(std::move(point));
+    } else if (sec.name == "campaign") {
+      if (sec.args.size() != 1) {
+        fail(origin, sec.line, "[campaign] wants exactly one name argument");
+      }
+      const auto it = sec.values.find("kind");
+      if (it == sec.values.end()) {
+        fail(origin, sec.line, "[campaign] needs kind = none|reference|"
+                               "overlap");
+      }
+      for (const auto& [key, value] : sec.values) {
+        (void)value;
+        if (key != "kind") {
+          fail(origin, sec.line, "unknown [campaign] key '" + key + "'");
+        }
+      }
+      CampaignPoint point;
+      if (it->second == "none") {
+        point = no_campaign();
+      } else if (it->second == "reference") {
+        point = reference_campaign();
+      } else if (it->second == "overlap") {
+        point = overlap_campaign();
+      } else {
+        fail(origin, sec.line, "unknown campaign kind '" + it->second +
+                                   "' (known: none, reference, overlap)");
+      }
+      point.name = sec.args[0];
+      sweep.campaigns.push_back(std::move(point));
+    } else {
+      fail(origin, sec.line, "unknown section [" + sec.name +
+                                 "] (known: sweep, topology, campaign)");
+    }
+  }
+  if (sweep.seeds.empty()) sweep.seeds = {1};
+  if (sweep.campaigns.empty()) sweep.campaigns = {no_campaign()};
+  if (sweep.topologies.empty()) {
+    throw ParseError(origin + ": sweep defines no [topology] points");
+  }
+  try {
+    sweep.validate();
+  } catch (const CheckFailure& e) {
+    throw ParseError(origin + ": " + e.what());
+  }
+  return sweep;
+}
+
+}  // namespace hc3i::batch

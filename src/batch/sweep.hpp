@@ -1,0 +1,138 @@
+#pragma once
+
+// Parameter sweeps as data: a topology x campaign x seed grid.
+//
+// The paper evaluates HC3I at a handful of hand-picked configurations; its
+// real claims (checkpoint-interval economics, recovery cost vs cluster
+// count) only become visible over grids of runs at identical seeds — the
+// CIC retrospective's methodology (PAPERS.md).  A SweepSpec is the
+// declarative form of such a grid: named topology points (full RunSpecs,
+// shared read-only across shards), named campaign points (a fault-plan
+// *kind*, materialised per topology since the reference campaigns scale
+// with the federation), and a seed list.  expand() produces the cross
+// product as RunCases that batch::Runner shards across worker threads.
+//
+// Everything in a RunCase that two shards could touch concurrently is
+// immutable and held behind shared_ptr<const>: the specs and the
+// materialised campaigns.  Mutable state (registries, pools, RNG streams,
+// COW refcounts) is created per run inside the worker that executes it —
+// see driver/sim_context.hpp for the ownership rule.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/spec.hpp"
+#include "driver/run.hpp"
+#include "fault/campaign.hpp"
+#include "util/time.hpp"
+
+namespace hc3i::batch {
+
+/// One topology-axis point: a named, immutable RunSpec shared read-only by
+/// every shard that runs it.
+struct TopologyPoint {
+  std::string name;
+  std::shared_ptr<const config::RunSpec> spec;
+};
+
+/// One campaign-axis point.  Reference kinds are materialised per topology
+/// at expand() time (their shape scales with cluster count and horizon);
+/// kExplicit carries a user-supplied plan validated against each topology.
+struct CampaignPoint {
+  enum class Kind : std::uint8_t {
+    kNone,       ///< failure-free
+    kReference,  ///< fault::reference_scale_campaign, legacy serialized mode
+    kOverlap,    ///< fault::reference_overlap_campaign (needs >= 4 clusters)
+    kExplicit,   ///< `plan` as given
+  };
+  std::string name;
+  Kind kind{Kind::kNone};
+  std::shared_ptr<const fault::Campaign> plan;  ///< kExplicit only
+};
+
+/// The declarative grid.
+struct SweepSpec {
+  std::vector<TopologyPoint> topologies;
+  std::vector<CampaignPoint> campaigns;
+  std::vector<std::uint64_t> seeds;
+  driver::ProtocolKind protocol{driver::ProtocolKind::kHc3i};
+
+  /// Grid cardinality (runs the sweep will execute).
+  std::size_t runs() const {
+    return topologies.size() * campaigns.size() * seeds.size();
+  }
+
+  /// Structural validation: non-empty axes, named points, specs present and
+  /// self-consistent, explicit campaigns valid against every topology.
+  /// Throws CheckFailure on the first problem.
+  void validate() const;
+};
+
+/// One expanded grid cell, ready to execute on any shard.
+struct RunCase {
+  std::size_t index{0};  ///< dense grid index (aggregation order)
+  std::string topology;
+  std::string campaign;
+  std::uint64_t seed{1};
+  driver::ProtocolKind protocol{driver::ProtocolKind::kHc3i};
+  std::shared_ptr<const config::RunSpec> spec;
+  std::shared_ptr<const fault::Campaign> plan;  ///< null = failure-free
+
+  /// "topology/campaign s=seed" — row label in reports.
+  std::string name() const;
+
+  /// Materialise driver options (copies the spec into the per-run options,
+  /// exactly like a solo run would; the shared original stays untouched).
+  driver::RunOptions options() const;
+};
+
+/// Cross-product expansion in grid order: topology-major, then campaign,
+/// then seed.  Validates the sweep first.
+std::vector<RunCase> expand(const SweepSpec& sweep);
+
+// --- axis-point builders ----------------------------------------------------
+
+/// Scale-out ring topology point (config::scale_federation_spec).
+TopologyPoint scale_topology(std::size_t clusters, std::uint32_t nodes,
+                             SimTime total);
+
+/// Small chatty test topology point (config::small_test_spec).
+TopologyPoint small_topology(std::size_t clusters, std::uint32_t nodes);
+
+/// Named campaign-kind points.
+CampaignPoint no_campaign();
+CampaignPoint reference_campaign();
+CampaignPoint overlap_campaign();
+/// Explicit plan under `name`.
+CampaignPoint explicit_campaign(std::string name, fault::Campaign plan);
+
+// --- the sweep config kind --------------------------------------------------
+
+/// Parse a sweep file (the fourth config kind next to topology /
+/// application / timers / campaign; same INI dialect via
+/// config::parse_sections).  Throws config::ParseError with file/line
+/// context on any problem.
+///
+///   [sweep]               protocol = hc3i     seeds = 1..5
+///   [topology small2]     preset = small      clusters = 2   nodes = 4
+///   [topology ring]       preset = scale      clusters = 10  nodes = 100
+///                         minutes = 30
+///   [campaign none]       kind = none
+///   [campaign faulty]     kind = reference
+///   [campaign overlap]    kind = overlap
+///
+/// `seeds` accepts an inclusive range "lo..hi" or a comma list "1,3,9".
+SweepSpec parse_sweep(std::string_view text,
+                      const std::string& origin = "<sweep>");
+
+/// The seed-list syntax on its own ("lo..hi" or "a,b,c"), shared by the
+/// sweep file's `seeds` key and the CLI's --seeds flag.  Throws
+/// config::ParseError on malformed input.
+std::vector<std::uint64_t> parse_seed_list(const std::string& text,
+                                           const std::string& origin =
+                                               "<seeds>");
+
+}  // namespace hc3i::batch

@@ -45,6 +45,16 @@ std::uint64_t RunResult::app_messages(ClusterId from, ClusterId to) const {
 }
 
 RunResult run_simulation(const RunOptions& opts) {
+  SimContext ctx;  // run-scoped: pools are built and torn down with the run
+  return run_simulation(opts, ctx);
+}
+
+RunResult run_simulation(const RunOptions& opts, SimContext& ctx) {
+  // Everything below allocates control payloads through the context's
+  // arena; the scope must enclose the whole stack (network, federation,
+  // runtimes) so releases during their teardown still see the same arena.
+  proto::ScopedPayloadArena payload_scope(ctx.arena());
+
   RunOptions o = opts;
   o.spec.validate();
   if (o.protocol == ProtocolKind::kPessimisticLog) {

@@ -14,6 +14,7 @@
 
 #include "config/spec.hpp"
 #include "app/workload.hpp"
+#include "driver/sim_context.hpp"
 #include "fault/campaign.hpp"
 #include "fault/telemetry.hpp"
 #include "hc3i/options.hpp"
@@ -101,7 +102,15 @@ struct RunResult {
   }
 };
 
-/// Build, run and audit one simulation.
+/// Build, run and audit one simulation in a private, run-scoped SimContext.
 RunResult run_simulation(const RunOptions& opts);
+
+/// Build, run and audit one simulation inside a caller-owned context.  The
+/// sharded batch runner threads each worker's SimContext through here so
+/// payload pools stay warm across the worker's runs; results are
+/// byte-identical to the context-less overload regardless of how warm the
+/// context is (pool state never leaks into simulation behaviour).  The
+/// context must not be used by two runs concurrently.
+RunResult run_simulation(const RunOptions& opts, SimContext& ctx);
 
 }  // namespace hc3i::driver

@@ -1,0 +1,78 @@
+#include "proto/payload_pool.hpp"
+
+#include <atomic>
+
+namespace hc3i::proto {
+
+namespace detail {
+
+std::uint32_t next_pool_type_index() {
+  // The single cross-thread touch point of the pool layer: a dense index per
+  // payload type, assigned at first use.  Everything downstream (the lists
+  // themselves) is arena-owned and single-threaded.
+  static std::atomic<std::uint32_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* heap_block(PayloadArena* owner, std::size_t bytes) {
+#if HC3I_POOL_OWNER_TAG_ENABLED
+  auto* base = static_cast<char*>(::operator new(kHeaderBytes + bytes));
+  reinterpret_cast<BlockHeader*>(base)->owner = owner;
+  return base + kHeaderBytes;
+#else
+  (void)owner;
+  return ::operator new(bytes);
+#endif
+}
+
+void heap_free(void* payload) {
+#if HC3I_POOL_OWNER_TAG_ENABLED
+  ::operator delete(static_cast<char*>(payload) - kHeaderBytes);
+#else
+  ::operator delete(payload);
+#endif
+}
+
+}  // namespace detail
+
+void PayloadArena::release_all() {
+  for (auto& list : lists_) {
+    for (void* base : list) ::operator delete(base);
+    list.clear();
+  }
+}
+
+void* PayloadArena::allocate(std::uint32_t type, std::size_t bytes) {
+  if (type < lists_.size() && !lists_[type].empty()) {
+    void* base = lists_[type].back();
+    lists_[type].pop_back();
+    ++reused_;
+    return static_cast<char*>(base) + detail::kHeaderBytes;
+  }
+  ++fresh_;
+  return detail::heap_block(this, bytes);
+}
+
+void PayloadArena::release(std::uint32_t type, void* p) {
+#if HC3I_POOL_OWNER_TAG_ENABLED
+  // Refuse blocks another arena allocated: recycling them here would hand
+  // shard A's storage to shard B — the exact failure the pool-isolation
+  // regression tests pin.  (Pointer compare only; the owner may be long
+  // gone and must not be dereferenced.)
+  if (detail::block_owner(p) != this) {
+    ++foreign_;
+    detail::heap_free(p);
+    return;
+  }
+#endif
+  void* base = static_cast<char*>(p) - detail::kHeaderBytes;
+  if (lists_.size() <= type) lists_.resize(type + 1);
+  auto& list = lists_[type];
+  if (list.size() < detail::kMaxPooledPerType) {
+    list.push_back(base);
+    return;
+  }
+  ::operator delete(base);
+}
+
+}  // namespace hc3i::proto

@@ -1,6 +1,6 @@
 #pragma once
 
-// Per-type pooling for control-message payloads.
+// Per-type pooling for control-message payloads, owned by a PayloadArena.
 //
 // Every control message used to be a fresh std::make_shared<T>() — one heap
 // allocation per message for payloads whose lifetime is a few simulated
@@ -18,48 +18,183 @@
 // therefore allocates nothing: a send is a free-list pop + placement
 // construction.
 //
-// Single-threaded by design, like the rest of the simulator: the free
-// lists are plain vectors.  Each pool is bounded (kMaxPooledPerType) so a
-// burst (a GC round fanning out to every cluster, say) cannot pin
-// unbounded memory; overflow falls back to the global heap.
+// Ownership model (the sharded-batch refactor): the free lists are NOT
+// process-global statics.  They live in a PayloadArena that a worker owns —
+// one arena per shard of a parameter sweep, installed as the calling
+// thread's current arena for the duration of a run (ScopedPayloadArena;
+// driver::run_simulation does this from its SimContext).  Two consequences:
+//
+//   * Shard isolation: a block allocated by worker A is never recycled into
+//     worker B's free list.  Arenas are deliberately NOT thread-safe and
+//     the lists are plain vectors — each shard is a complete single-threaded
+//     simulator, so sharing would only buy contention.  ThreadSanitizer
+//     (CI job `tsan`, -DHC3I_TSAN=ON) checks the no-sharing claim for real;
+//     debug builds additionally tag every block with its owning arena and
+//     refuse (heap-free + count) a return to the wrong arena.
+//
+//   * Deterministic teardown: parked blocks are released by ~PayloadArena,
+//     when the owning worker decides, not at static destruction.  With no
+//     arena installed make_pooled() degrades to plain heap traffic — there
+//     is no global list to park into, so nothing can leak past main().
+//
+// Each per-type list is bounded (kMaxPooledPerType) so a burst (a GC round
+// fanning out to every cluster, say) cannot pin unbounded memory; overflow
+// falls back to the global heap.
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <new>
 #include <vector>
+
+// Owner-tag instrumentation (the cross-shard-recycle tripwire): every block
+// carries a small header naming the arena that allocated it, and a release
+// seen by a different arena heap-frees the block instead of adopting it,
+// bumping PayloadArena::foreign_returns().  Debug builds always have it;
+// the sanitizer builds (HC3I_SANITIZE / HC3I_TSAN) force it on via
+// HC3I_POOL_OWNER_TAG so the pool-isolation regression tests stay armed
+// under RelWithDebInfo's NDEBUG.
+#if !defined(NDEBUG) || defined(HC3I_POOL_OWNER_TAG)
+#define HC3I_POOL_OWNER_TAG_ENABLED 1
+#else
+#define HC3I_POOL_OWNER_TAG_ENABLED 0
+#endif
 
 namespace hc3i::proto {
 
+class PayloadArena;
+
+/// True when blocks carry owner tags (see above); the pool-isolation tests
+/// skip their tag assertions when built without them.
+inline constexpr bool kPoolOwnerTagEnabled = HC3I_POOL_OWNER_TAG_ENABLED != 0;
+
 namespace detail {
 
-/// Upper bound on idle blocks retained per payload type.
+/// Upper bound on idle blocks retained per payload type per arena.
 inline constexpr std::size_t kMaxPooledPerType = 4096;
 
-/// One free list per allocated block type (allocate_shared's internal
-/// control-block-plus-object type, so per payload type in practice).
-/// Idle blocks parked in the list are raw storage (their objects are
-/// already destroyed), so the holder releases them at static destruction —
-/// otherwise the vector's own teardown would drop the only pointers to
-/// them and the sanitized build (CI job `sanitize`) would report every
-/// parked block as leaked.
+/// Dense per-process index for each allocated block type (allocate_shared's
+/// internal control-block-plus-object type, so per payload type in
+/// practice).  Assignment happens once per type at first use; the counter
+/// behind it is the pool layer's only cross-thread state and is atomic.
+std::uint32_t next_pool_type_index();
+
 template <typename Block>
-struct PayloadFreeList {
-  struct Holder {
-    std::vector<void*> blocks;
-    ~Holder() {
-      for (void* p : blocks) ::operator delete(p);
-    }
-  };
-  static std::vector<void*>& list() {
-    static Holder h;
-    return h.blocks;
-  }
+std::uint32_t pool_type_index() {
+  static const std::uint32_t idx = next_pool_type_index();
+  return idx;
+}
+
+/// The calling thread's current arena (null outside any installed scope).
+inline thread_local PayloadArena* t_current_arena = nullptr;
+
+#if HC3I_POOL_OWNER_TAG_ENABLED
+/// Block header under owner tagging; sized to max_align_t so the payload
+/// that follows keeps fundamental alignment.
+struct alignas(std::max_align_t) BlockHeader {
+  PayloadArena* owner;
 };
+inline constexpr std::size_t kHeaderBytes = sizeof(BlockHeader);
+#else
+inline constexpr std::size_t kHeaderBytes = 0;
+#endif
 
 }  // namespace detail
 
-/// Allocator backing make_pooled(): single-object allocations come from a
-/// per-type free list; array allocations (never used by allocate_shared
-/// here) pass through to the heap.
+/// A worker-owned set of per-type payload free lists.  Single-threaded by
+/// design: exactly one thread may have an arena installed at a time, and
+/// the batch runner gives each worker thread its own (via its SimContext).
+/// Destroying the arena releases every parked block — teardown is owned by
+/// the worker, not by static destruction order.
+class PayloadArena {
+ public:
+  PayloadArena() = default;
+  ~PayloadArena() { release_all(); }
+  PayloadArena(const PayloadArena&) = delete;
+  PayloadArena& operator=(const PayloadArena&) = delete;
+
+  /// The calling thread's installed arena (null when none).
+  static PayloadArena* current() { return detail::t_current_arena; }
+
+  /// Idle blocks currently parked across all types.
+  std::size_t parked_blocks() const {
+    std::size_t n = 0;
+    for (const auto& list : lists_) n += list.size();
+    return n;
+  }
+
+  /// Allocations served from a free list (the pool-warmth number: a reused
+  /// arena's second run pops these instead of paying fresh heap traffic).
+  std::uint64_t reused_blocks() const { return reused_; }
+  /// Allocations that had to touch the heap (cold pool or burst overflow).
+  std::uint64_t fresh_blocks() const { return fresh_; }
+  /// Returns of a block owned by a *different* arena: refused and
+  /// heap-freed instead of recycled (only observable with owner tags; the
+  /// shard-isolation contract says this stays 0 in correct usage).
+  std::uint64_t foreign_returns() const { return foreign_; }
+
+  /// Drop every parked block back to the heap (also done by ~PayloadArena).
+  void release_all();
+
+  // -- allocator plumbing (PayloadPoolAllocator only) ----------------------
+
+  /// Pop a block of `bytes` for type `type`, or carve a fresh one.  The
+  /// returned pointer is the payload area (past the owner-tag header).
+  void* allocate(std::uint32_t type, std::size_t bytes);
+
+  /// Park payload pointer `p` of type `type` if this arena owns it and the
+  /// list has room; heap-free otherwise.
+  void release(std::uint32_t type, void* p);
+
+ private:
+  friend class ScopedPayloadArena;
+
+  std::vector<std::vector<void*>> lists_;  ///< base pointers, per type index
+  std::uint64_t reused_{0};
+  std::uint64_t fresh_{0};
+  std::uint64_t foreign_{0};
+};
+
+/// RAII install of an arena as the calling thread's current arena.  Scopes
+/// nest (the previous arena is restored), though in practice one scope per
+/// run suffices.
+class ScopedPayloadArena {
+ public:
+  explicit ScopedPayloadArena(PayloadArena& arena)
+      : prev_(detail::t_current_arena) {
+    detail::t_current_arena = &arena;
+  }
+  ~ScopedPayloadArena() { detail::t_current_arena = prev_; }
+  ScopedPayloadArena(const ScopedPayloadArena&) = delete;
+  ScopedPayloadArena& operator=(const ScopedPayloadArena&) = delete;
+
+ private:
+  PayloadArena* prev_;
+};
+
+namespace detail {
+
+/// Heap path shared by the no-arena fallback and arena misses: allocates
+/// header + payload, tags the owner, returns the payload area.
+void* heap_block(PayloadArena* owner, std::size_t bytes);
+
+/// Free a payload pointer produced by heap_block()/PayloadArena::allocate.
+void heap_free(void* payload);
+
+#if HC3I_POOL_OWNER_TAG_ENABLED
+/// The tagged owner of payload pointer `p` (null for no-arena blocks).
+inline PayloadArena* block_owner(void* p) {
+  return reinterpret_cast<BlockHeader*>(static_cast<char*>(p) -
+                                        kHeaderBytes)->owner;
+}
+#endif
+
+}  // namespace detail
+
+/// Allocator backing make_pooled(): single-object allocations come from the
+/// thread-current arena's per-type free list (plain heap when no arena is
+/// installed); array allocations (never used by allocate_shared here) pass
+/// through to the heap.
 template <typename T>
 struct PayloadPoolAllocator {
   using value_type = T;
@@ -70,23 +205,23 @@ struct PayloadPoolAllocator {
 
   T* allocate(std::size_t n) {
     if (n == 1) {
-      auto& fl = detail::PayloadFreeList<T>::list();
-      if (!fl.empty()) {
-        void* p = fl.back();
-        fl.pop_back();
-        return static_cast<T*>(p);
+      if (PayloadArena* a = PayloadArena::current()) {
+        return static_cast<T*>(
+            a->allocate(detail::pool_type_index<T>(), sizeof(T)));
       }
+      return static_cast<T*>(detail::heap_block(nullptr, sizeof(T)));
     }
     return static_cast<T*>(::operator new(n * sizeof(T)));
   }
 
   void deallocate(T* p, std::size_t n) {
     if (n == 1) {
-      auto& fl = detail::PayloadFreeList<T>::list();
-      if (fl.size() < detail::kMaxPooledPerType) {
-        fl.push_back(p);
-        return;
+      if (PayloadArena* a = PayloadArena::current()) {
+        a->release(detail::pool_type_index<T>(), p);
+      } else {
+        detail::heap_free(p);
       }
+      return;
     }
     ::operator delete(p);
   }
@@ -98,7 +233,8 @@ struct PayloadPoolAllocator {
 };
 
 /// Drop-in replacement for std::make_shared<T>() whose storage is recycled
-/// through a per-type pool once the last reference drops.
+/// through the thread-current arena's per-type pool once the last reference
+/// drops.
 template <typename T, typename... Args>
 std::shared_ptr<T> make_pooled(Args&&... args) {
   return std::allocate_shared<T>(PayloadPoolAllocator<T>{},

@@ -148,6 +148,10 @@ TEST(PayloadPool, NoAliasingAcrossLiveReferences) {
 }
 
 TEST(PayloadPool, RecyclesOnlyAfterLastReferenceDrops) {
+  // Recycling is an arena behaviour (PR 7): without an installed arena
+  // make_pooled is plain heap traffic, so pin one for the pool semantics.
+  proto::PayloadArena arena;
+  proto::ScopedPayloadArena scope(arena);
   auto a = proto::make_pooled<core::InterAck>();
   a->ack_sn = 41;
   const void* a_storage = a.get();
@@ -168,6 +172,8 @@ TEST(PayloadPool, RecyclesOnlyAfterLastReferenceDrops) {
 }
 
 TEST(PayloadPool, PoolsArePerType) {
+  proto::PayloadArena arena;
+  proto::ScopedPayloadArena scope(arena);
   auto a = proto::make_pooled<core::GcRequest>();
   const void* a_storage = a.get();
   a.reset();
