@@ -28,6 +28,14 @@
 //                                              #   --dump-counters CI diffs it
 //                                              #   against
 //                                              #   bench/golden_counters_scale_overlap.txt
+//   ./scale_federation --storage [--overlap]   # charge checkpoint capture and
+//                                              #   recovery reads to a
+//                                              #   striped-remote store on
+//                                              #   every cluster (orthogonal to
+//                                              #   the fault mode); with
+//                                              #   --overlap --dump-counters CI
+//                                              #   diffs it against
+//                                              #   bench/golden_counters_scale_storage.txt
 
 #include <chrono>
 #include <cstdio>
@@ -95,6 +103,15 @@ void apply_fault_mode(driver::RunOptions* opts, FaultMode mode,
   }
 }
 
+/// The storage-charged variant: a striped-remote checkpoint store with the
+/// default cost model (5 ms latency, 100 MB/s per stripe, width 4) and
+/// incremental dirty-range capture on every cluster.
+void apply_storage(config::RunSpec* spec) {
+  config::StorageSpec storage;
+  storage.kind = config::StorageSpec::Kind::kStripedRemote;
+  for (config::ClusterSpec& c : spec->topology.clusters) c.storage = storage;
+}
+
 struct RowStats {
   std::uint64_t events;
   double wall_sec;
@@ -104,9 +121,10 @@ struct RowStats {
 };
 
 RowStats run_one(std::size_t clusters, std::uint32_t nodes, SimTime total,
-                 std::uint64_t seed, FaultMode mode) {
+                 std::uint64_t seed, FaultMode mode, bool storage) {
   driver::RunOptions opts;
   opts.spec = config::scale_federation_spec(clusters, nodes, total);
+  if (storage) apply_storage(&opts.spec);
   apply_fault_mode(&opts, mode, clusters, nodes, total);
   opts.seed = seed;
   const double t0 = now_sec();
@@ -127,9 +145,11 @@ RowStats run_one(std::size_t clusters, std::uint32_t nodes, SimTime total,
   return row;
 }
 
-void dump_counters(std::uint32_t nodes, FaultMode mode, std::uint64_t seed) {
+void dump_counters(std::uint32_t nodes, FaultMode mode, bool storage,
+                   std::uint64_t seed) {
   driver::RunOptions opts;
   opts.spec = config::scale_federation_spec(10, nodes, minutes(30));
+  if (storage) apply_storage(&opts.spec);
   apply_fault_mode(&opts, mode, 10, nodes, minutes(30));
   opts.seed = seed;
   const driver::RunResult result = driver::run_simulation(opts);
@@ -143,10 +163,11 @@ int main(int argc, char** argv) {
   for (const std::string& name : flags.names()) {
     if (name != "clusters" && name != "nodes" && name != "seed" &&
         name != "minutes" && name != "sweep" && name != "dump-counters" &&
-        name != "faulty" && name != "overlap") {
+        name != "faulty" && name != "overlap" && name != "storage") {
       std::fprintf(stderr,
                    "unknown flag --%s (known: --clusters --nodes --seed "
-                   "--minutes --sweep --dump-counters --faulty --overlap)\n",
+                   "--minutes --sweep --dump-counters --faulty --overlap "
+                   "--storage)\n",
                    name.c_str());
       return 2;
     }
@@ -161,9 +182,10 @@ int main(int argc, char** argv) {
   const FaultMode mode = faulty ? FaultMode::kFaulty
                         : overlap ? FaultMode::kOverlap
                                   : FaultMode::kNone;
+  const bool storage = flags.get_bool("storage", false);
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   if (flags.get_bool("dump-counters", false)) {
-    dump_counters(nodes, mode, seed);
+    dump_counters(nodes, mode, storage, seed);
     return 0;
   }
   const SimTime total = minutes(flags.get_int("minutes", 30));
@@ -179,18 +201,19 @@ int main(int argc, char** argv) {
   }
 
   std::printf("scale-out federation — %u nodes/cluster, %s simulated, "
-              "ring traffic, CLC timer 5min, GC 10min%s\n\n",
+              "ring traffic, CLC timer 5min, GC 10min%s%s\n\n",
               nodes, to_string(total).c_str(),
               mode == FaultMode::kFaulty
                   ? ", reference fault campaign (serialized)"
                   : mode == FaultMode::kOverlap
                         ? ", overlap fault campaign (concurrent recoveries)"
-                        : "");
+                        : "",
+              storage ? ", striped-remote checkpoint store" : "");
   std::printf("%9s %7s %10s %9s %12s %10s %12s %12s\n", "clusters", "nodes",
               "events", "wall_s", "events/s", "pairs", "max_clcs",
               "gc_saved_B");
   for (const std::size_t c : sweep) {
-    const RowStats row = run_one(c, nodes, total, seed, mode);
+    const RowStats row = run_one(c, nodes, total, seed, mode, storage);
     std::printf("%9zu %7u %10llu %9.2f %12.0f %10zu %12llu %12llu\n", c,
                 c * nodes, static_cast<unsigned long long>(row.events),
                 row.wall_sec,

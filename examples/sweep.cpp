@@ -15,7 +15,12 @@
 //   ./sweep --grid=determinism                     # CI seed-grid check: the
 //                                                  #   10x100 overlap scenario,
 //                                                  #   10 seeds x 2 runs, every
-//                                                  #   pair byte-compared
+//                                                  #   pair byte-compared, plus
+//                                                  #   one storage-charged cell
+//   ./sweep --grid=storage                         # optimal-interval table:
+//                                                  #   checkpoint interval x
+//                                                  #   storage bandwidth for
+//                                                  #   both backends
 //
 // --campaigns kinds: none (failure-free), faulty (the reference campaign in
 // legacy serialized mode, as the --faulty golden), overlap (concurrent
@@ -30,6 +35,7 @@
 #include "batch/runner.hpp"
 #include "batch/sweep.hpp"
 #include "config/parser.hpp"
+#include "config/spec.hpp"
 #include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/quantity.hpp"
@@ -53,40 +59,181 @@ std::vector<std::string> split_list(const std::string& s) {
   return out;
 }
 
-/// The CI determinism grid: every seed of the overlap scenario run twice
-/// (threads-many shards each pass), each pair's counter dumps byte-compared.
-/// This is the promotion of the PR 6 hand-rolled 3-seed shell loop to a
-/// 10-seed grid the sharded runner can afford inside the CI budget.
-int run_determinism_grid(std::size_t threads) {
-  batch::SweepSpec sweep;
-  sweep.topologies = {batch::scale_topology(10, 100, minutes(30))};
-  sweep.campaigns = {batch::overlap_campaign()};
-  for (std::uint64_t s = 1; s <= 10; ++s) sweep.seeds.push_back(s);
-
-  batch::RunnerOptions opts;
-  opts.threads = threads;
-  opts.keep_dumps = true;
-  const batch::Runner runner(opts);
-  std::printf("determinism grid: %zu runs x 2 passes (overlap 10x100)\n",
-              sweep.runs());
+/// Run a sweep twice and byte-compare each case's counter dump, printing one
+/// line per case under `label`.  Returns the number of mismatching cases.
+std::size_t compare_two_passes(const batch::Runner& runner,
+                               const batch::SweepSpec& sweep,
+                               const char* label) {
   const batch::BatchReport a = runner.run(sweep);
   const batch::BatchReport b = runner.run(sweep);
-
   std::size_t mismatches = 0;
   for (std::size_t i = 0; i < a.cases.size(); ++i) {
     const batch::CaseResult& ca = a.cases[i];
     const batch::CaseResult& cb = b.cases[i];
     const bool same = ca.ok && cb.ok && ca.dump == cb.dump;
     if (!same) ++mismatches;
-    std::printf("  seed %-3llu %s\n",
+    std::printf("  %s seed %-3llu %s\n", label,
                 static_cast<unsigned long long>(ca.seed),
                 same ? "ok (byte-identical)"
                      : !ca.ok || !cb.ok ? "FAILED RUN" : "DUMP MISMATCH");
   }
-  std::printf("%s: %zu seeds, %.2f s + %.2f s wall (%zu threads)\n",
-              mismatches == 0 ? "PASS" : "FAIL", a.cases.size(), a.wall_sec,
-              b.wall_sec, a.threads);
+  std::printf("  %s: %zu cases, %.2f s + %.2f s wall (%zu threads)\n", label,
+              a.cases.size(), a.wall_sec, b.wall_sec, a.threads);
+  return mismatches;
+}
+
+/// The CI determinism grid: every seed of the overlap scenario run twice
+/// (threads-many shards each pass), each pair's counter dumps byte-compared.
+/// This is the promotion of the PR 6 hand-rolled 3-seed shell loop to a
+/// 10-seed grid the sharded runner can afford inside the CI budget.  A
+/// second, smaller cell repeats the check with the storage axis engaged so
+/// capture stalls and chain reads are covered by the same bit-for-bit
+/// guarantee.
+int run_determinism_grid(std::size_t threads) {
+  batch::RunnerOptions opts;
+  opts.threads = threads;
+  opts.keep_dumps = true;
+  const batch::Runner runner(opts);
+
+  batch::SweepSpec sweep;
+  sweep.topologies = {batch::scale_topology(10, 100, minutes(30))};
+  sweep.campaigns = {batch::overlap_campaign()};
+  for (std::uint64_t s = 1; s <= 10; ++s) sweep.seeds.push_back(s);
+  std::printf("determinism grid: %zu runs x 2 passes (overlap 10x100)\n",
+              sweep.runs());
+  std::size_t mismatches = compare_two_passes(runner, sweep, "plain  ");
+
+  // The storage-charged cell: striped-remote backend with incremental
+  // capture, 3 seeds.  Capture stalls reshape the event schedule, so this
+  // exercises a decision stream the plain cell never sees.
+  batch::SweepSpec charged;
+  charged.topologies = sweep.topologies;
+  charged.campaigns = sweep.campaigns;
+  charged.seeds = {1, 2, 3};
+  config::StorageSpec striped;
+  striped.kind = config::StorageSpec::Kind::kStripedRemote;
+  charged.storage = {
+      batch::storage_point("striped", striped, minutes(5), 16ull << 20)};
+  std::printf("storage-charged cell: %zu runs x 2 passes (striped-remote)\n",
+              charged.runs());
+  mismatches += compare_two_passes(runner, charged, "striped");
+
+  std::printf("%s\n", mismatches == 0 ? "PASS" : "FAIL");
   return mismatches == 0 ? 0 : 1;
+}
+
+/// The optimal-interval grid: checkpoint interval x storage bandwidth for
+/// both backends, reference fault campaign.  Each cell reports checkpoint
+/// bytes written and the two sides of the classic tradeoff — time lost
+/// writing checkpoints (capture stalls + recovery chain reads) vs. work
+/// re-executed after rollbacks — and the per-(backend, bandwidth) row with
+/// the lowest total is flagged as the optimal interval.
+///
+/// Runs the independent-checkpointing baseline, not HC3I: under HC3I the
+/// §3.2 forcing rule ties CLC frequency to inter-cluster traffic, so with
+/// the ring workload the timer barely moves the checkpoint rate and there
+/// is no interval to optimise (see docs/scaling.md).  The baseline
+/// checkpoints purely on the timer, which is the regime the classic
+/// interval analysis assumes.
+int run_storage_grid(std::size_t threads) {
+  struct BwPoint { const char* tag; double bytes_per_sec; };
+  struct IvPoint { const char* tag; SimTime period; };
+  static const BwPoint kBandwidths[] = {{"50M", 50e6}, {"200M", 200e6}};
+  static const IvPoint kIntervals[] = {
+      {"2m", minutes(2)}, {"5m", minutes(5)}, {"10m", minutes(10)}};
+  static const std::pair<config::StorageSpec::Kind, const char*> kKinds[] = {
+      {config::StorageSpec::Kind::kLocalDisk, "local-disk"},
+      {config::StorageSpec::Kind::kStripedRemote, "striped-remote"}};
+  constexpr std::uint64_t kStateBytes = 64ull << 20;  // per node
+
+  batch::SweepSpec sweep;
+  sweep.protocol = driver::ProtocolKind::kIndependent;
+  sweep.topologies = {batch::scale_topology(4, 25, minutes(60))};
+  sweep.campaigns = {batch::reference_campaign()};
+  sweep.seeds = {1, 2};
+  for (const auto& [kind, ktag] : kKinds) {
+    for (const BwPoint& bw : kBandwidths) {
+      for (const IvPoint& iv : kIntervals) {
+        config::StorageSpec st;
+        st.kind = kind;
+        st.write_bytes_per_sec = bw.bytes_per_sec;
+        st.read_bytes_per_sec = bw.bytes_per_sec;
+        sweep.storage.push_back(batch::storage_point(
+            std::string(ktag) + "/" + bw.tag + "/" + iv.tag, st, iv.period,
+            kStateBytes));
+      }
+    }
+  }
+
+  batch::RunnerOptions opts;
+  opts.threads = threads;
+  const batch::Runner runner(opts);
+  std::printf("storage grid: %zu runs (4x25 faulty, independent protocol, "
+              "64 MiB state/node)\n",
+              sweep.runs());
+  const batch::BatchReport report = runner.run(sweep);
+  if (report.failures() > 0) {
+    std::fputs(report.render_table().c_str(), stdout);
+    return 1;
+  }
+
+  // Aggregate per storage point (seeds summed), keyed by the point label.
+  struct Cell {
+    std::uint64_t ckpt_bytes{0};
+    double stall_s{0.0}, read_s{0.0}, lost_work_s{0.0};
+    double total_s() const { return stall_s + read_s + lost_work_s; }
+  };
+  std::vector<std::pair<std::string, Cell>> cells;
+  for (const batch::CaseResult& c : report.cases) {
+    Cell* cell = nullptr;
+    for (auto& [name, v] : cells) {
+      if (name == c.storage) cell = &v;
+    }
+    if (!cell) {
+      cells.emplace_back(c.storage, Cell{});
+      cell = &cells.back().second;
+    }
+    cell->ckpt_bytes += c.ckpt_bytes;
+    cell->stall_s += static_cast<double>(c.ckpt_stall_us) * 1e-6;
+    cell->read_s += static_cast<double>(c.recovery_read_us) * 1e-6;
+    cell->lost_work_s += c.lost_work_s;
+  }
+  const auto find_cell = [&cells](const std::string& name) -> const Cell& {
+    const Cell* found = nullptr;
+    for (const auto& [n, v] : cells) {
+      if (n == name) found = &v;
+    }
+    HC3I_CHECK(found != nullptr, "storage grid cell missing from report");
+    return *found;
+  };
+
+  std::printf("\n%-15s %-7s %-9s %10s %9s %8s %13s %9s\n", "backend",
+              "bw", "interval", "ckpt GiB", "stall s", "read s",
+              "lost work s", "total s");
+  for (const auto& [kind, ktag] : kKinds) {
+    for (const BwPoint& bw : kBandwidths) {
+      // The optimal interval for this (backend, bandwidth) row group.
+      double best = -1.0;
+      for (const IvPoint& iv : kIntervals) {
+        const Cell& cell = find_cell(std::string(ktag) + "/" + bw.tag + "/" +
+                                     iv.tag);
+        if (best < 0 || cell.total_s() < best) best = cell.total_s();
+      }
+      for (const IvPoint& iv : kIntervals) {
+        const Cell& cell = find_cell(std::string(ktag) + "/" + bw.tag + "/" +
+                                     iv.tag);
+        std::printf("%-15s %-7s %-9s %10.2f %9.1f %8.1f %13.1f %9.1f%s\n",
+                    ktag, bw.tag, iv.tag,
+                    static_cast<double>(cell.ckpt_bytes) / (1ull << 30),
+                    cell.stall_s, cell.read_s, cell.lost_work_s,
+                    cell.total_s(),
+                    cell.total_s() == best ? "  <- optimal" : "");
+      }
+    }
+  }
+  std::printf("\n%zu runs in %.2f s (%zu threads)\n", report.cases.size(),
+              report.wall_sec, report.threads);
+  return 0;
 }
 
 }  // namespace
@@ -111,12 +258,11 @@ int main(int argc, char** argv) {
 
   const std::string grid = flags.get("grid", "");
   if (!grid.empty()) {
-    if (grid != "determinism") {
-      std::fprintf(stderr, "unknown --grid=%s (known: determinism)\n",
-                   grid.c_str());
-      return 2;
-    }
-    return run_determinism_grid(threads);
+    if (grid == "determinism") return run_determinism_grid(threads);
+    if (grid == "storage") return run_storage_grid(threads);
+    std::fprintf(stderr, "unknown --grid=%s (known: determinism storage)\n",
+                 grid.c_str());
+    return 2;
   }
 
   batch::SweepSpec sweep;

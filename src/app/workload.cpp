@@ -1,5 +1,7 @@
 #include "app/workload.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -15,7 +17,8 @@ constexpr std::uint64_t kDecisionDomain = 0xC0DEC0DE1234ULL;
 // ---------------------------------------------------------------------------
 
 WorkloadNode::WorkloadNode(Workload& owner, NodeId self, ClusterId cluster)
-    : owner_(owner), self_(self), cluster_(cluster) {}
+    : owner_(owner), self_(self), cluster_(cluster),
+      region_(owner.app_.state_bytes) {}
 
 void WorkloadNode::start() {
   HC3I_CHECK(agent_ != nullptr, "WorkloadNode: agent not bound");
@@ -66,6 +69,12 @@ void WorkloadNode::on_step_done(std::uint64_t epoch) {
       owner_.stat(owner_.stat_sends_, "app.sends").inc();
     }
   }
+  // Each step mutates a stride of the modelled state.  The location is a
+  // pure function of the progress counter (no RNG draw), so delta capture
+  // replays exactly after a rollback and perturbs no decision stream.
+  const std::uint64_t stride =
+      std::max<std::uint64_t>(1, region_.size() / 1024);
+  region_.touch((progress_ * stride) % region_.size(), stride);
   ++progress_;
   schedule_step();
 }
@@ -75,7 +84,16 @@ proto::AppSnapshot WorkloadNode::snapshot() const {
   snap.progress = progress_;
   snap.virtual_work = virtual_work_;
   snap.state_bytes = owner_.app_.state_bytes;
+  snap.delta_bytes = snap.state_bytes;  // pure read: a full image
   snap.opaque = {received_};
+  return snap;
+}
+
+proto::AppSnapshot WorkloadNode::snapshot(storage::CaptureMode mode) {
+  proto::AppSnapshot snap = snapshot();
+  const storage::CaptureRecord rec = region_.capture(mode);
+  snap.delta_bytes = rec.length;
+  snap.incremental = rec.incremental;
   return snap;
 }
 
@@ -92,6 +110,9 @@ void WorkloadNode::restore(const proto::AppSnapshot& snap) {
   progress_ = snap.progress;
   virtual_work_ = snap.virtual_work;
   received_ = snap.opaque.empty() ? 0 : snap.opaque[0];
+  // The restored image is the new baseline: the next storage capture must
+  // be a full one regardless of the requested mode.
+  region_.reset_base();
   if (owner_.mode_ == ReplayMode::kDivergent) ++salt_;
   owner_.stat(owner_.stat_restores_, "app.restores").inc();
   schedule_step();

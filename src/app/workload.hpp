@@ -54,6 +54,7 @@ class WorkloadNode final : public proto::AppHandle {
 
   // AppHandle ---------------------------------------------------------------
   proto::AppSnapshot snapshot() const override;
+  proto::AppSnapshot snapshot(storage::CaptureMode mode) override;
   void freeze() override;
   void restore(const proto::AppSnapshot& snap) override;
   void deliver(const net::Envelope& env) override;
@@ -72,6 +73,10 @@ class WorkloadNode final : public proto::AppHandle {
   NodeId self_;
   ClusterId cluster_;
   proto::ProtocolAgent* agent_{nullptr};
+  /// Modelled mutable state area (accounting only, no bytes).  Each work
+  /// step touches a stride that is a pure function of the progress counter
+  /// — no RNG draws, so enabling delta capture perturbs no decision stream.
+  storage::StateRegion region_;
 
   std::uint64_t progress_{0};        ///< completed steps (part of state)
   std::uint64_t received_{0};        ///< delivered messages (part of state)

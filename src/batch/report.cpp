@@ -62,16 +62,26 @@ double BatchReport::runs_per_min() const {
 std::string BatchReport::render_table() const {
   // Aggregate per (topology, campaign) cell, in first-appearance (grid)
   // order.
+  struct Key {
+    std::string topology, campaign, storage;
+    bool operator==(const Key&) const = default;
+  };
   struct Cell {
     std::size_t runs{0};
     std::uint64_t events{0};
     double wall_sec{0.0};
     std::uint64_t clcs{0}, faults{0}, rollbacks{0}, replayed{0};
+    std::uint64_t ckpt_bytes{0}, ckpt_stall_us{0};
     std::size_t failed{0};
   };
-  std::vector<std::pair<std::pair<std::string, std::string>, Cell>> cells;
+  // The storage column (and the per-cell split by storage point) appears
+  // only when some case actually ran on the storage axis — sweeps without
+  // it render byte-identically to the pre-axis format.
+  bool any_storage = false;
+  for (const CaseResult& c : cases) any_storage |= !c.storage.empty();
+  std::vector<std::pair<Key, Cell>> cells;
   for (const CaseResult& c : cases) {
-    const auto key = std::make_pair(c.topology, c.campaign);
+    const Key key{c.topology, c.campaign, c.storage};
     Cell* cell = nullptr;
     for (auto& [k, v] : cells) {
       if (k == key) {
@@ -90,25 +100,53 @@ std::string BatchReport::render_table() const {
     cell->faults += c.faults;
     cell->rollbacks += c.rollbacks;
     cell->replayed += c.replayed;
+    cell->ckpt_bytes += c.ckpt_bytes;
+    cell->ckpt_stall_us += c.ckpt_stall_us;
     if (!c.ok) ++cell->failed;
   }
 
   std::string out;
-  appendf(&out, "%-16s %-10s %5s %12s %11s %7s %7s %7s %7s %6s\n", "topology",
-          "campaign", "runs", "events", "ev/s", "clcs", "faults", "rb",
-          "replay", "fail");
+  if (any_storage) {
+    appendf(&out, "%-16s %-10s %-12s %5s %12s %11s %7s %7s %7s %7s %12s "
+                  "%9s %6s\n",
+            "topology", "campaign", "storage", "runs", "events", "ev/s",
+            "clcs", "faults", "rb", "replay", "ckpt bytes", "stall s",
+            "fail");
+  } else {
+    appendf(&out, "%-16s %-10s %5s %12s %11s %7s %7s %7s %7s %6s\n",
+            "topology", "campaign", "runs", "events", "ev/s", "clcs",
+            "faults", "rb", "replay", "fail");
+  }
   for (const auto& [key, cell] : cells) {
-    appendf(&out, "%-16s %-10s %5zu %12llu %11.0f %7llu %7llu %7llu %7llu "
-                  "%6zu\n",
-            key.first.c_str(), key.second.c_str(), cell.runs,
-            static_cast<unsigned long long>(cell.events),
-            cell.wall_sec > 0
-                ? static_cast<double>(cell.events) / cell.wall_sec
-                : 0.0,
-            static_cast<unsigned long long>(cell.clcs),
-            static_cast<unsigned long long>(cell.faults),
-            static_cast<unsigned long long>(cell.rollbacks),
-            static_cast<unsigned long long>(cell.replayed), cell.failed);
+    if (any_storage) {
+      appendf(&out,
+              "%-16s %-10s %-12s %5zu %12llu %11.0f %7llu %7llu %7llu %7llu "
+              "%12llu %9.2f %6zu\n",
+              key.topology.c_str(), key.campaign.c_str(),
+              key.storage.empty() ? "off" : key.storage.c_str(), cell.runs,
+              static_cast<unsigned long long>(cell.events),
+              cell.wall_sec > 0
+                  ? static_cast<double>(cell.events) / cell.wall_sec
+                  : 0.0,
+              static_cast<unsigned long long>(cell.clcs),
+              static_cast<unsigned long long>(cell.faults),
+              static_cast<unsigned long long>(cell.rollbacks),
+              static_cast<unsigned long long>(cell.replayed),
+              static_cast<unsigned long long>(cell.ckpt_bytes),
+              static_cast<double>(cell.ckpt_stall_us) * 1e-6, cell.failed);
+    } else {
+      appendf(&out, "%-16s %-10s %5zu %12llu %11.0f %7llu %7llu %7llu %7llu "
+                    "%6zu\n",
+              key.topology.c_str(), key.campaign.c_str(), cell.runs,
+              static_cast<unsigned long long>(cell.events),
+              cell.wall_sec > 0
+                  ? static_cast<double>(cell.events) / cell.wall_sec
+                  : 0.0,
+              static_cast<unsigned long long>(cell.clcs),
+              static_cast<unsigned long long>(cell.faults),
+              static_cast<unsigned long long>(cell.rollbacks),
+              static_cast<unsigned long long>(cell.replayed), cell.failed);
+    }
   }
   std::uint64_t reused = 0, fresh = 0;
   for (const WorkerStats& w : workers) {
@@ -131,8 +169,11 @@ std::string BatchReport::render_table() const {
     appendf(&out, "%zu FAILED case%s:\n", failed, failed == 1 ? "" : "s");
     for (const CaseResult& c : cases) {
       if (c.ok) continue;
-      appendf(&out, "  %s/%s s=%llu: %s\n", c.topology.c_str(),
-              c.campaign.c_str(), static_cast<unsigned long long>(c.seed),
+      const std::string label =
+          c.topology + "/" + c.campaign +
+          (c.storage.empty() ? "" : "/" + c.storage);
+      appendf(&out, "  %s s=%llu: %s\n", label.c_str(),
+              static_cast<unsigned long long>(c.seed),
               c.error.empty()
                   ? (std::to_string(c.violations) + " consistency violations")
                         .c_str()
@@ -163,12 +204,29 @@ std::string BatchReport::to_json() const {
   out += "  ],\n  \"cases\": [\n";
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const CaseResult& c = cases[i];
+    // Storage fields only for cases on the storage axis, so sweeps without
+    // it emit the pre-axis JSON byte-for-byte.
+    std::string storage_fields;
+    if (!c.storage.empty()) {
+      appendf(&storage_fields,
+              "\"storage\": \"%s\", \"ckpt_bytes\": %llu, "
+              "\"ckpt_saved\": %llu, \"ckpt_stall_us\": %llu, "
+              "\"recovery_read_us\": %llu, \"lost_work_s\": %.3f, ",
+              json_escape(c.storage).c_str(),
+              static_cast<unsigned long long>(c.ckpt_bytes),
+              static_cast<unsigned long long>(c.ckpt_saved),
+              static_cast<unsigned long long>(c.ckpt_stall_us),
+              static_cast<unsigned long long>(c.recovery_read_us),
+              c.lost_work_s);
+    }
     appendf(&out,
-            "    {\"topology\": \"%s\", \"campaign\": \"%s\", \"seed\": %llu, "
+            "    {\"topology\": \"%s\", \"campaign\": \"%s\", %s\"seed\": "
+            "%llu, "
             "\"ok\": %s, \"events\": %llu, \"violations\": %llu, "
             "\"clcs\": %llu, \"faults\": %llu, \"rollbacks\": %llu, "
             "\"replayed\": %llu, \"wall_sec\": %.6f%s%s%s}%s\n",
             json_escape(c.topology).c_str(), json_escape(c.campaign).c_str(),
+            storage_fields.c_str(),
             static_cast<unsigned long long>(c.seed), c.ok ? "true" : "false",
             static_cast<unsigned long long>(c.events),
             static_cast<unsigned long long>(c.violations),

@@ -18,6 +18,7 @@ struct CaseResult {
   std::size_t index{0};
   std::string topology;
   std::string campaign;
+  std::string storage;  ///< storage-point label; "" = storage off
   std::uint64_t seed{1};
   bool ok{false};
   std::string error;  ///< CheckFailure text when the run threw
@@ -28,6 +29,11 @@ struct CaseResult {
   std::uint64_t faults{0};     ///< injected failures
   std::uint64_t rollbacks{0};  ///< cluster rollbacks (cascades included)
   std::uint64_t replayed{0};   ///< logged messages re-sent
+  std::uint64_t ckpt_bytes{0};        ///< checkpoint bytes written to storage
+  std::uint64_t ckpt_saved{0};        ///< bytes incremental capture saved
+  std::uint64_t ckpt_stall_us{0};     ///< node-us stalled on capture writes
+  std::uint64_t recovery_read_us{0};  ///< us reading chains on recovery
+  double lost_work_s{0.0};            ///< node-seconds recomputed
   double wall_sec{0.0};
 
   /// Full registry dump (RunnerOptions::keep_dumps only): byte-identical to

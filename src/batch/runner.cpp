@@ -26,6 +26,7 @@ CaseResult run_case(const RunCase& rc, driver::SimContext& ctx,
   cr.index = rc.index;
   cr.topology = rc.topology;
   cr.campaign = rc.campaign;
+  cr.storage = rc.storage;
   cr.seed = rc.seed;
   const double t0 = now_sec();
   try {
@@ -42,6 +43,11 @@ CaseResult run_case(const RunCase& rc, driver::SimContext& ctx,
     cr.faults = result.counter("fault.injected");
     cr.rollbacks = result.counter("rollback.count");
     cr.replayed = result.counter("log.resent_msgs");
+    cr.ckpt_bytes = result.counter("ckpt.bytes_written");
+    cr.ckpt_saved = result.counter("ckpt.bytes_delta_saved");
+    cr.ckpt_stall_us = result.counter("ckpt.stall_us");
+    cr.recovery_read_us = result.counter("recovery.read_us");
+    cr.lost_work_s = result.registry.summary("rollback.lost_work_s").sum();
     if (keep_dump) cr.dump = result.registry.dump();
     cr.ok = cr.violations == 0;
   } catch (const std::exception& e) {

@@ -40,6 +40,26 @@ std::shared_ptr<const fault::Campaign> materialize(
   HC3I_UNREACHABLE("bad CampaignPoint::Kind");
 }
 
+/// Spec for one (topology, storage) cell: the shared base when the point is
+/// inactive, otherwise a derived copy with the cost model applied to every
+/// cluster and the interval / state-size overrides folded in.
+std::shared_ptr<const config::RunSpec> apply_storage(
+    const std::shared_ptr<const config::RunSpec>& base,
+    const StoragePoint& point) {
+  if (!point.active()) return base;
+  auto spec = std::make_shared<config::RunSpec>(*base);
+  for (auto& c : spec->topology.clusters) c.storage = point.storage;
+  if (point.clc_period.ns > 0) {
+    for (auto& t : spec->timers.clusters) {
+      // Clusters pinned to never self-checkpoint stay pinned.
+      if (!t.clc_period.is_infinite()) t.clc_period = point.clc_period;
+    }
+  }
+  if (point.state_bytes > 0) spec->application.state_bytes = point.state_bytes;
+  spec->validate();
+  return spec;
+}
+
 }  // namespace
 
 void SweepSpec::validate() const {
@@ -75,10 +95,19 @@ void SweepSpec::validate() const {
       if (c.plan) c.plan->validate(t.spec->topology);
     }
   }
+  for (const StoragePoint& s : storage) {
+    HC3I_CHECK(!s.name.empty() || !s.active(),
+               "sweep: active storage point must be named");
+    HC3I_CHECK(s.clc_period.ns >= 0 && !s.clc_period.is_infinite(),
+               "sweep: storage point '" + s.name +
+                   "' interval override must be finite and >= 0");
+  }
 }
 
 std::string RunCase::name() const {
-  return topology + "/" + campaign + " s=" + std::to_string(seed);
+  return topology + "/" + campaign +
+         (storage.empty() ? "" : "/" + storage) + " s=" +
+         std::to_string(seed);
 }
 
 driver::RunOptions RunCase::options() const {
@@ -92,22 +121,36 @@ driver::RunOptions RunCase::options() const {
 
 std::vector<RunCase> expand(const SweepSpec& sweep) {
   sweep.validate();
+  // An empty storage axis is the implicit off point — same cases, labels
+  // and shared specs as before the axis existed.
+  static const std::vector<StoragePoint> kOffOnly{StoragePoint{}};
+  const auto& storage_axis =
+      sweep.storage.empty() ? kOffOnly : sweep.storage;
   std::vector<RunCase> cases;
   cases.reserve(sweep.runs());
   for (const TopologyPoint& topo : sweep.topologies) {
+    // One derived spec per (topology, storage) cell, shared by its runs.
+    std::vector<std::shared_ptr<const config::RunSpec>> specs;
+    specs.reserve(storage_axis.size());
+    for (const StoragePoint& sp : storage_axis) {
+      specs.push_back(apply_storage(topo.spec, sp));
+    }
     for (const CampaignPoint& camp : sweep.campaigns) {
       // One materialised plan per grid cell, shared by that cell's seeds.
       const auto plan = materialize(camp, *topo.spec);
-      for (const std::uint64_t seed : sweep.seeds) {
-        RunCase rc;
-        rc.index = cases.size();
-        rc.topology = topo.name;
-        rc.campaign = camp.name;
-        rc.seed = seed;
-        rc.protocol = sweep.protocol;
-        rc.spec = topo.spec;
-        rc.plan = plan;
-        cases.push_back(std::move(rc));
+      for (std::size_t si = 0; si < storage_axis.size(); ++si) {
+        for (const std::uint64_t seed : sweep.seeds) {
+          RunCase rc;
+          rc.index = cases.size();
+          rc.topology = topo.name;
+          rc.campaign = camp.name;
+          rc.storage = storage_axis[si].active() ? storage_axis[si].name : "";
+          rc.seed = seed;
+          rc.protocol = sweep.protocol;
+          rc.spec = specs[si];
+          rc.plan = plan;
+          cases.push_back(std::move(rc));
+        }
       }
     }
   }
@@ -149,6 +192,16 @@ CampaignPoint explicit_campaign(std::string name, fault::Campaign plan) {
   return CampaignPoint{std::move(name), CampaignPoint::Kind::kExplicit,
                        std::make_shared<const fault::Campaign>(
                            std::move(plan))};
+}
+
+StoragePoint storage_point(std::string name, config::StorageSpec storage,
+                           SimTime clc_period, std::uint64_t state_bytes) {
+  StoragePoint point;
+  point.name = std::move(name);
+  point.storage = storage;
+  point.clc_period = clc_period;
+  point.state_bytes = state_bytes;
+  return point;
 }
 
 namespace {
@@ -303,9 +356,55 @@ SweepSpec parse_sweep(std::string_view text, const std::string& origin) {
       }
       point.name = sec.args[0];
       sweep.campaigns.push_back(std::move(point));
+    } else if (sec.name == "storage") {
+      if (sec.args.size() != 1) {
+        fail(origin, sec.line, "[storage] wants exactly one name argument");
+      }
+      StoragePoint point;
+      point.name = sec.args[0];
+      for (const auto& [key, value] : sec.values) {
+        if (key == "kind") {
+          if (value == "local-disk") {
+            point.storage.kind = config::StorageSpec::Kind::kLocalDisk;
+          } else if (value == "striped-remote") {
+            point.storage.kind = config::StorageSpec::Kind::kStripedRemote;
+          } else if (value == "none") {
+            point.storage.kind = config::StorageSpec::Kind::kNone;
+          } else {
+            fail(origin, sec.line, "unknown storage kind '" + value + "'");
+          }
+        } else if (key == "latency") {
+          const auto v = parse_duration(value);
+          if (!v) fail(origin, sec.line, "bad latency '" + value + "'");
+          point.storage.latency = *v;
+        } else if (key == "write_bandwidth" || key == "read_bandwidth") {
+          const auto v = parse_bandwidth(value);
+          if (!v) fail(origin, sec.line, "bad " + key + " '" + value + "'");
+          (key[0] == 'w' ? point.storage.write_bytes_per_sec
+                         : point.storage.read_bytes_per_sec) = *v;
+        } else if (key == "stripe_width") {
+          point.storage.stripe_width = static_cast<std::uint32_t>(
+              want_uint(sec, origin, "stripe_width", 4));
+        } else if (key == "incremental") {
+          point.storage.incremental =
+              want_uint(sec, origin, "incremental", 1) != 0;
+        } else if (key == "interval") {
+          const auto v = parse_duration(value);
+          if (!v) fail(origin, sec.line, "bad interval '" + value + "'");
+          point.clc_period = *v;
+        } else if (key == "state_size") {
+          const auto v = parse_bytes(value);
+          if (!v) fail(origin, sec.line, "bad state_size '" + value + "'");
+          point.state_bytes = *v;
+        } else {
+          fail(origin, sec.line, "unknown [storage] key '" + key + "'");
+        }
+      }
+      sweep.storage.push_back(std::move(point));
     } else {
       fail(origin, sec.line, "unknown section [" + sec.name +
-                                 "] (known: sweep, topology, campaign)");
+                                 "] (known: sweep, topology, campaign, "
+                                 "storage)");
     }
   }
   if (sweep.seeds.empty()) sweep.seeds = {1};

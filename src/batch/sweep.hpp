@@ -53,16 +53,36 @@ struct CampaignPoint {
   std::shared_ptr<const fault::Campaign> plan;  ///< kExplicit only
 };
 
+/// One storage-axis point: a checkpoint-storage cost model plus optional
+/// overrides of the two knobs the optimal-interval question couples it to —
+/// the CLC period (checkpoint interval) and the process state size
+/// (checkpoint size).  Zero overrides keep the topology point's values.
+/// An inactive point (the default) is the implicit "storage off" cell:
+/// RunCase labels and reports stay exactly as before the axis existed.
+struct StoragePoint {
+  std::string name;                      ///< "" only for the implicit off point
+  config::StorageSpec storage;           ///< kNone = costs stay unmodelled
+  SimTime clc_period{SimTime::zero()};   ///< 0 = keep the topology's timers
+  std::uint64_t state_bytes{0};          ///< 0 = keep the spec's state size
+
+  bool active() const {
+    return storage.enabled() || clc_period.ns > 0 || state_bytes > 0;
+  }
+};
+
 /// The declarative grid.
 struct SweepSpec {
   std::vector<TopologyPoint> topologies;
   std::vector<CampaignPoint> campaigns;
+  /// Storage axis; empty means a single implicit storage-off point.
+  std::vector<StoragePoint> storage;
   std::vector<std::uint64_t> seeds;
   driver::ProtocolKind protocol{driver::ProtocolKind::kHc3i};
 
   /// Grid cardinality (runs the sweep will execute).
   std::size_t runs() const {
-    return topologies.size() * campaigns.size() * seeds.size();
+    return topologies.size() * campaigns.size() *
+           (storage.empty() ? 1 : storage.size()) * seeds.size();
   }
 
   /// Structural validation: non-empty axes, named points, specs present and
@@ -76,12 +96,14 @@ struct RunCase {
   std::size_t index{0};  ///< dense grid index (aggregation order)
   std::string topology;
   std::string campaign;
+  std::string storage;  ///< storage-point name; "" = storage off
   std::uint64_t seed{1};
   driver::ProtocolKind protocol{driver::ProtocolKind::kHc3i};
   std::shared_ptr<const config::RunSpec> spec;
   std::shared_ptr<const fault::Campaign> plan;  ///< null = failure-free
 
-  /// "topology/campaign s=seed" — row label in reports.
+  /// "topology/campaign s=seed" — row label in reports; an active storage
+  /// point appends "/storage" after the campaign.
   std::string name() const;
 
   /// Materialise driver options (copies the spec into the per-run options,
@@ -109,6 +131,12 @@ CampaignPoint overlap_campaign();
 /// Explicit plan under `name`.
 CampaignPoint explicit_campaign(std::string name, fault::Campaign plan);
 
+/// Storage-axis point: cost model plus optional interval / state-size
+/// overrides (zero keeps the topology point's values).
+StoragePoint storage_point(std::string name, config::StorageSpec storage,
+                           SimTime clc_period = SimTime::zero(),
+                           std::uint64_t state_bytes = 0);
+
 // --- the sweep config kind --------------------------------------------------
 
 /// Parse a sweep file (the fourth config kind next to topology /
@@ -123,8 +151,13 @@ CampaignPoint explicit_campaign(std::string name, fault::Campaign plan);
 ///   [campaign none]       kind = none
 ///   [campaign faulty]     kind = reference
 ///   [campaign overlap]    kind = overlap
+///   [storage striped]     kind = striped-remote   write_bandwidth = 200MB/s
+///                         interval = 5m           state_size = 8MiB
 ///
 /// `seeds` accepts an inclusive range "lo..hi" or a comma list "1,3,9".
+/// [storage] keys: kind (local-disk | striped-remote), latency,
+/// write_bandwidth, read_bandwidth, stripe_width, incremental (0/1),
+/// interval (CLC-period override), state_size (per-process state override).
 SweepSpec parse_sweep(std::string_view text,
                       const std::string& origin = "<sweep>");
 

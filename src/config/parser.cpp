@@ -157,6 +157,38 @@ TopologySpec parse_topology(std::string_view text, const std::string& origin) {
       c.nodes = static_cast<std::uint32_t>(need_uint(sec, "nodes", origin));
       c.san.latency = need_duration(sec, "latency", origin);
       c.san.bytes_per_sec = need_bandwidth(sec, "bandwidth", origin);
+      // Optional checkpoint-storage model; absent keys keep the defaults.
+      if (sec.values.count("storage")) {
+        auto& st = c.storage;
+        const std::string& kind = sec.values.at("storage");
+        if (kind == "none") {
+          st.kind = StorageSpec::Kind::kNone;
+        } else if (kind == "local-disk") {
+          st.kind = StorageSpec::Kind::kLocalDisk;
+        } else if (kind == "striped-remote") {
+          st.kind = StorageSpec::Kind::kStripedRemote;
+        } else {
+          fail(origin, sec.line, "unknown storage kind '" + kind + "'");
+        }
+        if (sec.values.count("storage_latency")) {
+          st.latency = need_duration(sec, "storage_latency", origin);
+        }
+        if (sec.values.count("storage_write_bandwidth")) {
+          st.write_bytes_per_sec =
+              need_bandwidth(sec, "storage_write_bandwidth", origin);
+        }
+        if (sec.values.count("storage_read_bandwidth")) {
+          st.read_bytes_per_sec =
+              need_bandwidth(sec, "storage_read_bandwidth", origin);
+        }
+        if (sec.values.count("stripe_width")) {
+          st.stripe_width =
+              static_cast<std::uint32_t>(need_uint(sec, "stripe_width", origin));
+        }
+        if (sec.values.count("incremental")) {
+          st.incremental = need_uint(sec, "incremental", origin) != 0;
+        }
+      }
     } else if (sec.name == "link") {
       if (sec.args.size() != 2) {
         fail(origin, sec.line, "[link] needs two cluster indices");

@@ -26,6 +26,24 @@ void TopologySpec::validate() const {
                "topology: negative SAN latency");
     HC3I_CHECK(clusters[i].san.bytes_per_sec > 0,
                "topology: SAN bandwidth must be positive");
+    const StorageSpec& st = clusters[i].storage;
+    if (st.enabled()) {
+      HC3I_CHECK(st.latency.ns >= 0 && !st.latency.is_infinite(),
+                 "topology: cluster " + std::to_string(i) +
+                     " storage latency must be finite and >= 0");
+      HC3I_CHECK(st.write_bytes_per_sec > 0 &&
+                     std::isfinite(st.write_bytes_per_sec),
+                 "topology: cluster " + std::to_string(i) +
+                     " storage write bandwidth must be positive and finite");
+      HC3I_CHECK(st.read_bytes_per_sec > 0 &&
+                     std::isfinite(st.read_bytes_per_sec),
+                 "topology: cluster " + std::to_string(i) +
+                     " storage read bandwidth must be positive and finite");
+      HC3I_CHECK(st.kind != StorageSpec::Kind::kStripedRemote ||
+                     st.stripe_width >= 1,
+                 "topology: cluster " + std::to_string(i) +
+                     " stripe_width must be >= 1");
+    }
   }
   HC3I_CHECK(inter.size() == clusters.size(),
              "topology: inter-link matrix has wrong row count");

@@ -32,12 +32,40 @@ struct LinkSpec {
   double bytes_per_sec{10e6};
 };
 
+/// Checkpoint-storage cost model of one cluster.  kNone (the default) keeps
+/// the seed behaviour: captures and recovery reads cost nothing on the
+/// simulated clock, so every pre-existing golden stays byte-identical.
+struct StorageSpec {
+  enum class Kind : std::uint8_t {
+    kNone,           ///< storage not modelled (free captures, free reads)
+    kLocalDisk,      ///< per-node local disk: each node writes/reads alone
+    kStripedRemote,  ///< stdchk-style striped store aggregated over the SAN
+  };
+  Kind kind{Kind::kNone};
+  /// Per-request latency (seek / open round-trip).
+  SimTime latency{milliseconds(5)};
+  /// Write bandwidth in bytes per second: per node for kLocalDisk, per
+  /// stripe for kStripedRemote (aggregate = stripe_width x this).
+  double write_bytes_per_sec{100.0e6};
+  /// Read bandwidth in bytes per second (same per-node/per-stripe rule).
+  double read_bytes_per_sec{100.0e6};
+  /// Donor nodes each write is striped across (kStripedRemote only).
+  std::uint32_t stripe_width{4};
+  /// Capture touched-range deltas between full images (base + Σ deltas
+  /// chains); false forces a full image every CLC.
+  bool incremental{true};
+
+  bool enabled() const { return kind != Kind::kNone; }
+};
+
 /// One cluster: its size and its SAN characteristics.
 struct ClusterSpec {
   /// Number of nodes in the cluster (>= 1).
   std::uint32_t nodes{1};
   /// Intra-cluster (SAN) link parameters, e.g. Myrinet-like 10us / 80Mb/s.
   LinkSpec san{};
+  /// Checkpoint-storage cost model (off by default).
+  StorageSpec storage{};
 };
 
 /// The federation: clusters plus the inter-cluster link matrix.

@@ -77,6 +77,24 @@ std::string write_topology(const TopologySpec& topo) {
     os << "nodes = " << c.nodes << "\n";
     os << "latency = " << duration_text(c.san.latency) << "\n";
     os << "bandwidth = " << bandwidth_text(c.san.bytes_per_sec) << "\n";
+    // Storage keys only when modelled, so pre-storage files round-trip
+    // byte-identically.
+    if (c.storage.enabled()) {
+      const auto& st = c.storage;
+      os << "storage = "
+         << (st.kind == StorageSpec::Kind::kLocalDisk ? "local-disk"
+                                                      : "striped-remote")
+         << "\n";
+      os << "storage_latency = " << duration_text(st.latency) << "\n";
+      os << "storage_write_bandwidth = "
+         << bandwidth_text(st.write_bytes_per_sec) << "\n";
+      os << "storage_read_bandwidth = "
+         << bandwidth_text(st.read_bytes_per_sec) << "\n";
+      if (st.kind == StorageSpec::Kind::kStripedRemote) {
+        os << "stripe_width = " << st.stripe_width << "\n";
+      }
+      os << "incremental = " << (st.incremental ? 1 : 0) << "\n";
+    }
   }
   // Triangular matrix of inter-cluster links (paper §5.1).
   for (std::size_t i = 0; i < topo.cluster_count(); ++i) {

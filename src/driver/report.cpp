@@ -85,12 +85,36 @@ std::string render_report(const RunResult& result, std::size_t clusters) {
   os << "GC rounds                : " << result.counter("gc.rounds")
      << " (aborted: " << result.counter("gc.aborted") << ")\n";
 
+  if (result.counter("ckpt.bytes_written") > 0) {
+    os << "\n== checkpoint storage ==\n";
+    os << "checkpoint bytes written : "
+       << format_bytes(result.counter("ckpt.bytes_written")) << "\n";
+    os << "saved by delta capture   : "
+       << format_bytes(result.counter("ckpt.bytes_delta_saved")) << "\n";
+    os << "capture stall            : "
+       << static_cast<double>(result.counter("ckpt.stall_us")) * 1e-6
+       << " node-seconds\n";
+    os << "recovery chain reads     : "
+       << static_cast<double>(result.counter("recovery.read_us")) * 1e-6
+       << " seconds\n";
+  }
+
   if (!result.incidents.empty()) {
     os << "\n== fault incidents (recovery telemetry) ==\n";
-    stats::Table t({"#", "injected", "node", "cluster", "source", "latency",
-                    "conc", "rollbacks", "nodes", "alerts", "replay msgs",
-                    "replay bytes", "lost work (s)", "undone"});
-    const auto cost_cells = [&t](const fault::Incident& inc) {
+    // Storage columns only when the run charged storage costs: keeps the
+    // table narrow (and byte-identical) for every pre-storage scenario.
+    const bool storage_cols = result.counter("ckpt.bytes_written") > 0 ||
+                              result.counter("recovery.read_us") > 0;
+    std::vector<std::string> headers{
+        "#", "injected", "node", "cluster", "source", "latency", "conc",
+        "rollbacks", "nodes", "alerts", "replay msgs", "replay bytes",
+        "lost work (s)", "undone"};
+    if (storage_cols) {
+      headers.push_back("ckpt bytes");
+      headers.push_back("read (s)");
+    }
+    stats::Table t(headers);
+    const auto cost_cells = [&t, storage_cols](const fault::Incident& inc) {
       t.cell(inc.rollbacks)
           .cell(inc.nodes_rolled_back)
           .cell(inc.alert_fanout)
@@ -98,6 +122,10 @@ std::string render_report(const RunResult& result, std::size_t clusters) {
           .cell(format_bytes(inc.replayed_bytes))
           .cell(inc.lost_work_s, 1)
           .cell(inc.events_undone);
+      if (storage_cols) {
+        t.cell(format_bytes(inc.ckpt_bytes_written))
+            .cell(static_cast<double>(inc.recovery_read_us) * 1e-6, 3);
+      }
     };
     for (const fault::Incident& inc : result.incidents) {
       t.row()

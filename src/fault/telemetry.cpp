@@ -21,6 +21,10 @@ RecoveryTelemetry::CostSnapshot RecoveryTelemetry::snapshot() const {
   s.resent_msgs = registry_.get("log.resent_msgs");
   s.resent_bytes = registry_.get("log.resent_bytes");
   s.undone = ledger_.undone_events();
+  s.ckpt_bytes = registry_.get("ckpt.bytes_written");
+  s.ckpt_saved = registry_.get("ckpt.bytes_delta_saved");
+  s.ckpt_stall_us = registry_.get("ckpt.stall_us");
+  s.recovery_read_us = registry_.get("recovery.read_us");
   s.lost_work_s = registry_.summary("rollback.lost_work_s").sum();
   return s;
 }
@@ -38,6 +42,10 @@ void RecoveryTelemetry::attribute_segment() {
       {&CostSnapshot::resent_msgs, &Incident::replayed_msgs},
       {&CostSnapshot::resent_bytes, &Incident::replayed_bytes},
       {&CostSnapshot::undone, &Incident::events_undone},
+      {&CostSnapshot::ckpt_bytes, &Incident::ckpt_bytes_written},
+      {&CostSnapshot::ckpt_saved, &Incident::ckpt_bytes_delta_saved},
+      {&CostSnapshot::ckpt_stall_us, &Incident::ckpt_stall_us},
+      {&CostSnapshot::recovery_read_us, &Incident::recovery_read_us},
   };
   const std::size_t k = open_.size();
   if (k == 0) {

@@ -63,6 +63,10 @@ struct Incident {
   std::uint64_t replayed_msgs{0};      ///< logged messages re-sent
   std::uint64_t replayed_bytes{0};     ///< payload bytes of those re-sends
   std::uint64_t events_undone{0};      ///< ledger events discarded
+  std::uint64_t ckpt_bytes_written{0};    ///< checkpoint bytes persisted
+  std::uint64_t ckpt_bytes_delta_saved{0};///< bytes incremental capture saved
+  std::uint64_t ckpt_stall_us{0};         ///< node-us stalled writing captures
+  std::uint64_t recovery_read_us{0};      ///< us reading chains back on restore
   double lost_work_s{0.0};             ///< node-seconds of recomputation
 
   /// Injection-to-resume latency; zero when recovery never completed.
@@ -111,6 +115,10 @@ class RecoveryTelemetry {
     std::uint64_t resent_msgs{0};
     std::uint64_t resent_bytes{0};
     std::uint64_t undone{0};
+    std::uint64_t ckpt_bytes{0};
+    std::uint64_t ckpt_saved{0};
+    std::uint64_t ckpt_stall_us{0};
+    std::uint64_t recovery_read_us{0};
     double lost_work_s{0.0};
   };
   CostSnapshot snapshot() const;

@@ -38,9 +38,20 @@ std::uint32_t Hc3iAgent::replicas_needed() const {
   return store().replication();
 }
 
-proto::NodePart Hc3iAgent::make_part() const {
+proto::NodePart Hc3iAgent::make_part() {
   proto::NodePart part;
-  part.app = ctx_.app->snapshot();
+  if (rt_.backend(cluster()) != nullptr) {
+    // Storage is modelled: consume the app's dirty-range watermark so
+    // successive captures form base + Σ deltas chains (a full image when
+    // incremental capture is disabled or no base exists yet).
+    part.app = ctx_.app->snapshot(rt_.storage_spec(cluster()).incremental
+                                      ? storage::CaptureMode::kIncremental
+                                      : storage::CaptureMode::kFull);
+  } else {
+    part.app = ctx_.app->snapshot();
+  }
+  HC3I_CHECK(part.app.state_bytes == rt_.spec().application.state_bytes,
+             "make_part: app state_bytes disagrees with the declared spec");
   // Both captures are copy-on-write images: O(1) refcount bumps unless the
   // underlying state changed since the previous checkpoint (DedupSet sorts
   // once per mutation epoch — checkpoint parts are protocol state, so the
@@ -362,18 +373,56 @@ void Hc3iAgent::handle_clc_request(const ClcRequest& m) {
   replica_acks_ = 0;
   // Tentative local checkpoint (phase 1) + stable-storage replica write.
   tentative_ = make_part();
+  const storage::Backend* be = rt_.backend(cluster());
+  if (be == nullptr) {
+    finish_capture();
+    return;
+  }
+  // Charge the capture write to the storage backend: the node stalls until
+  // its (full or delta) image is persisted, which delays its phase-1 ack
+  // and therefore stretches the whole round — checkpoint cost surfaces as
+  // time the application spends with messages queued.
+  const std::uint64_t bytes = tentative_->app.delta_bytes;
+  const std::uint64_t saved = tentative_->app.state_bytes - bytes;
+  stat(stat_ckpt_bytes_, "ckpt.bytes_written").inc(bytes);
+  named_stat(stat_g_ckpt_bytes_, "ckpt.bytes_written").inc(bytes);
+  if (saved > 0) {
+    stat(stat_ckpt_saved_, "ckpt.bytes_delta_saved").inc(saved);
+    named_stat(stat_g_ckpt_saved_, "ckpt.bytes_delta_saved").inc(saved);
+  }
+  const SimTime stall = be->node_write_time(bytes);
+  const std::uint64_t stall_us = static_cast<std::uint64_t>(stall.ns / 1000);
+  stat(stat_ckpt_stall_, "ckpt.stall_us").inc(stall_us);
+  named_stat(stat_g_ckpt_stall_, "ckpt.stall_us").inc(stall_us);
+  const Incarnation round_inc = inc_;
+  const std::uint64_t round_id = round_;
+  ctx_.sim->schedule_after(stall, [this, round_inc, round_id] {
+    // A rollback mid-write aborts the round (the incarnation bump or the
+    // cleared in_round_ flag filters the stale completion).
+    if (inc_ != round_inc || !in_round_ || round_ != round_id) return;
+    finish_capture();
+  });
+}
+
+void Hc3iAgent::finish_capture() {
+  HC3I_CHECK(tentative_.has_value(), "finish_capture without a capture");
   if (replicas_needed() == 0) {
     send_phase1_ack();
     return;
   }
+  // The replica transfer carries the captured image across the SAN — the
+  // whole process state, or just the delta when storage models incremental
+  // capture.
+  const std::uint64_t replica_bytes = rt_.backend(cluster()) != nullptr
+                                          ? tentative_->app.delta_bytes
+                                          : rt_.spec().application.state_bytes;
   for (std::uint32_t r = 1; r <= replicas_needed(); ++r) {
     auto rs = proto::make_pooled<ReplicaStore>();
     rs->round = round_;
     rs->inc = inc_;
     rs->origin = self();
-    // The replica transfer carries the whole process state across the SAN.
-    send_control(ctx_.topology->ring_neighbour(self(), r),
-                 rt_.spec().application.state_bytes, std::move(rs));
+    send_control(ctx_.topology->ring_neighbour(self(), r), replica_bytes,
+                 std::move(rs));
   }
 }
 
@@ -612,7 +661,25 @@ void Hc3iAgent::rollback_cluster(proto::ClcRecord rec_arg, bool fault_origin) {
   store().truncate_after(rec.sn);
 
   // 5. Re-inject the channel state once every node has restored.
-  const SimTime resume_delay = state_restore_delay();
+  SimTime resume_delay = state_restore_delay();
+  if (const storage::Backend* be = rt_.backend(c)) {
+    // Storage-modelled recovery: every node re-reads its checkpoint chain
+    // (its part of the restored CLC plus the deltas back to the nearest
+    // full image) before the application can resume.
+    std::uint64_t total_bytes = 0;
+    std::uint64_t max_node_bytes = 0;
+    const std::uint32_t nodes = ctx_.topology->cluster_size(c);
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+      const std::uint64_t b = store().chain_read_bytes(rec.sn, i);
+      total_bytes += b;
+      max_node_bytes = std::max(max_node_bytes, b);
+    }
+    const SimTime read = be->cluster_read_time(total_bytes, max_node_bytes);
+    const std::uint64_t read_us = static_cast<std::uint64_t>(read.ns / 1000);
+    stat(stat_recovery_read_, "recovery.read_us").inc(read_us);
+    named_stat(stat_g_recovery_read_, "recovery.read_us").inc(read_us);
+    resume_delay += read;
+  }
   ctx_.sim->schedule_after(
       resume_delay + microseconds(1), [this, rec_sp, new_inc] {
         if (inc_ != new_inc) return;  // superseded by a deeper rollback

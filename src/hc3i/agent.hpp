@@ -137,7 +137,13 @@ class Hc3iAgent : public proto::AgentBase {
   /// the counter still only exists once actually touched.
   stats::Counter& stat(stats::Counter*& slot, const char* name);
   std::uint32_t local_index(NodeId n) const;
-  proto::NodePart make_part() const;
+  /// Capture this node's CLC part.  Non-const: with a storage backend the
+  /// capture consumes the app's dirty-range watermark (delta chains).
+  proto::NodePart make_part();
+  /// Tail of handle_clc_request: replica writes or the phase-1 ack.  Split
+  /// out so a storage backend can charge the capture-write stall on the
+  /// simulated clock before it runs.
+  void finish_capture();
   std::uint32_t replicas_needed() const;
   proto::ClcStore& store() { return rt_.store(cluster()); }
   const proto::ClcStore& store() const { return rt_.store(cluster()); }
@@ -221,6 +227,16 @@ class Hc3iAgent : public proto::AgentBase {
   stats::Counter* stat_rollback_cascade_{nullptr};
   stats::Counter* stat_gc_removed_{nullptr};
   stats::Counter* stat_gc_resp_saved_{nullptr};
+  // Checkpoint-storage accounting (only touched when a backend is
+  // configured, so storage-off dumps stay byte-identical to the seed).
+  stats::Counter* stat_ckpt_bytes_{nullptr};
+  stats::Counter* stat_ckpt_saved_{nullptr};
+  stats::Counter* stat_ckpt_stall_{nullptr};
+  stats::Counter* stat_recovery_read_{nullptr};
+  stats::Counter* stat_g_ckpt_bytes_{nullptr};
+  stats::Counter* stat_g_ckpt_saved_{nullptr};
+  stats::Counter* stat_g_ckpt_stall_{nullptr};
+  stats::Counter* stat_g_recovery_read_{nullptr};
   stats::Summary* stat_rollback_depth_{nullptr};
 
   // GC initiator state (coordinator of cluster 0 only).

@@ -21,6 +21,8 @@ Hc3iRuntime::Hc3iRuntime(const config::RunSpec& spec, Hc3iOptions opts)
         nodes > 1 ? std::min(opts_.replication, nodes - 1) : 0;
     stores_.push_back(std::make_unique<proto::ClcStore>(
         ClusterId{static_cast<std::uint32_t>(c)}, nodes, repl));
+    backends_.push_back(
+        storage::make_backend(spec_.topology.clusters[c].storage, nodes));
     agents_[c].reserve(nodes);
   }
 }

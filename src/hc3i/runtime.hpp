@@ -24,6 +24,7 @@
 #include "hc3i/options.hpp"
 #include "proto/agent.hpp"
 #include "proto/clc_store.hpp"
+#include "storage/backend.hpp"
 #include "util/check.hpp"
 #include "util/ids.hpp"
 #include "util/time.hpp"
@@ -85,6 +86,20 @@ class Hc3iRuntime {
   proto::ClcStore& store(ClusterId c);
   const proto::ClcStore& store(ClusterId c) const;
 
+  /// The checkpoint-storage cost model of a cluster, or nullptr when
+  /// storage is not modelled there (the default: captures and recovery
+  /// reads are free, exactly the seed behaviour).
+  const storage::Backend* backend(ClusterId c) const {
+    HC3I_CHECK(c.v < backends_.size(), "backend: bad cluster");
+    return backends_[c.v].get();
+  }
+  /// The storage spec the backend was built from.
+  const config::StorageSpec& storage_spec(ClusterId c) const {
+    HC3I_CHECK(c.v < spec_.topology.clusters.size(),
+               "storage_spec: bad cluster");
+    return spec_.topology.clusters[c.v].storage;
+  }
+
   /// Current incarnation of a cluster (bumped on every rollback).
   Incarnation incarnation(ClusterId c) const;
   /// Bump and return the new incarnation.
@@ -136,6 +151,7 @@ class Hc3iRuntime {
   config::RunSpec spec_;
   Hc3iOptions opts_;
   std::vector<std::unique_ptr<proto::ClcStore>> stores_;
+  std::vector<std::unique_ptr<storage::Backend>> backends_;  ///< per cluster
   std::vector<Incarnation> incarnations_;
   std::vector<std::vector<Hc3iAgent*>> agents_;  ///< [cluster][local index]
   std::vector<GcEvent> gc_events_;

@@ -62,12 +62,43 @@ std::size_t ClcStore::prune_before(SeqNum min_sn) {
   return before - records_.size();
 }
 
+std::uint64_t ClcStore::chain_read_bytes(SeqNum sn,
+                                         std::uint32_t node_idx) const {
+  HC3I_CHECK(node_idx < nodes_, "chain_read_bytes: bad node index");
+  std::size_t at = records_.size();
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].sn == sn) {
+      at = i;
+      break;
+    }
+  }
+  HC3I_CHECK(at < records_.size(), "chain_read_bytes: SN not retained");
+  std::uint64_t total = 0;
+  for (std::size_t i = at + 1; i-- > 0;) {
+    const AppSnapshot& app = records_[i].parts[node_idx].app;
+    if (!app.incremental) {
+      total += app.state_bytes;  // the chain base: stop here
+      return total;
+    }
+    if (i == 0) {
+      // The true base was garbage-collected; the oldest retained record was
+      // rebased to a full image when its predecessors were pruned.
+      total += app.state_bytes;
+      return total;
+    }
+    total += app.delta_bytes;
+  }
+  return total;
+}
+
 std::uint64_t ClcStore::storage_bytes() const {
   std::uint64_t total = 0;
   for (const auto& r : records_) {
     std::uint64_t rec_bytes = 0;
     for (const auto& p : r.parts) {
-      rec_bytes += p.app.state_bytes;
+      // Incremental captures store the touched-range delta, full captures
+      // the whole state image.
+      rec_bytes += p.app.incremental ? p.app.delta_bytes : p.app.state_bytes;
       rec_bytes += p.dedup.size() * sizeof(std::uint64_t);
       for (const auto& e : p.log.entries()) rec_bytes += e.env.wire_bytes();
     }

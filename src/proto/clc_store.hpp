@@ -86,8 +86,16 @@ class ClcStore {
   }
 
   /// Total modelled storage bytes across the cluster (states + channel
-  /// captures + checkpointed logs, including replicas).
+  /// captures + checkpointed logs, including replicas).  Incremental
+  /// captures count their delta, not the full state image.
   std::uint64_t storage_bytes() const;
+
+  /// Bytes node `node_idx` must read back to restore from the CLC with
+  /// SN `sn`: its part of that record plus every older delta back to (and
+  /// including) the nearest full image.  When garbage collection pruned the
+  /// original base, the oldest retained record acts as a rebased full image
+  /// and is charged at state_bytes.  REQUIRES `sn` retained.
+  std::uint64_t chain_read_bytes(SeqNum sn, std::uint32_t node_idx) const;
 
   /// Simultaneous in-cluster faults tolerated by the replication scheme.
   std::uint32_t replication() const { return replication_; }

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "net/message.hpp"
+#include "storage/state_region.hpp"
 #include "util/inline_vec.hpp"
 #include "util/time.hpp"
 
@@ -24,6 +25,13 @@ struct AppSnapshot {
   SimTime virtual_work{};
   /// Modelled state size in bytes.
   std::uint64_t state_bytes{0};
+  /// Bytes this capture actually writes to storage: state_bytes for a full
+  /// image, the touched-range size for an incremental delta.  Protocols that
+  /// never asked for delta capture leave it equal to state_bytes.
+  std::uint64_t delta_bytes{0};
+  /// True when this snapshot is a delta over the node's previous committed
+  /// capture (restore must replay the chain back to the last full image).
+  bool incremental{false};
   /// Opaque application words (e.g. RNG state under the PWD assumption the
   /// pessimistic-logging baseline needs; empty otherwise).  Inline storage:
   /// snapshots are taken per node per CLC round and copied into acks and
@@ -37,8 +45,19 @@ class AppHandle {
  public:
   virtual ~AppHandle() = default;
 
-  /// Capture the process state (cheap: the workload is synthetic).
+  /// Capture the process state (cheap: the workload is synthetic).  This
+  /// const overload is a pure read — lost-work accounting and baselines use
+  /// it — and never consumes dirty-range tracking.
   virtual AppSnapshot snapshot() const = 0;
+
+  /// Capture for checkpoint storage: consumes the dirty-range watermark, so
+  /// kIncremental yields a delta over the previous storage capture.  The
+  /// default forwards to the read-only overload (full image, no tracking)
+  /// for fixtures and apps without a modelled state region.
+  virtual AppSnapshot snapshot(storage::CaptureMode mode) {
+    (void)mode;
+    return snapshot();
+  }
 
   /// Stop all application activity immediately (cancel pending compute).
   /// Called at the instant a rollback is decided; restore() follows once

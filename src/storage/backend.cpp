@@ -1,0 +1,81 @@
+#include "storage/backend.hpp"
+
+#include <algorithm>
+
+namespace hc3i::storage {
+
+namespace {
+
+/// latency + bytes / rate, saturating sanely for tiny rates.
+SimTime transfer_time(SimTime latency, std::uint64_t bytes, double rate) {
+  if (bytes == 0) return SimTime{0};
+  return latency + from_seconds_f(static_cast<double>(bytes) / rate);
+}
+
+class LocalDiskBackend final : public Backend {
+ public:
+  explicit LocalDiskBackend(const config::StorageSpec& spec) : spec_(spec) {}
+
+  const char* name() const override { return "local-disk"; }
+
+  SimTime node_write_time(std::uint64_t bytes) const override {
+    return transfer_time(spec_.latency, bytes, spec_.write_bytes_per_sec);
+  }
+
+  SimTime cluster_read_time(std::uint64_t /*total_bytes*/,
+                            std::uint64_t max_node_bytes) const override {
+    // Every node reads its own disk in parallel; the slowest chain gates.
+    return transfer_time(spec_.latency, max_node_bytes,
+                         spec_.read_bytes_per_sec);
+  }
+
+ private:
+  config::StorageSpec spec_;
+};
+
+class StripedRemoteBackend final : public Backend {
+ public:
+  StripedRemoteBackend(const config::StorageSpec& spec,
+                       std::uint32_t cluster_nodes)
+      : spec_(spec),
+        width_(std::max<std::uint32_t>(
+            1, std::min(spec.stripe_width, cluster_nodes))) {}
+
+  const char* name() const override { return "striped-remote"; }
+
+  SimTime node_write_time(std::uint64_t bytes) const override {
+    // Chunked across `width_` donors writing concurrently.
+    return transfer_time(spec_.latency, bytes,
+                         spec_.write_bytes_per_sec * width_);
+  }
+
+  SimTime cluster_read_time(std::uint64_t total_bytes,
+                            std::uint64_t /*max_node_bytes*/) const override {
+    // The store serves the whole cluster: aggregate bandwidth, but the
+    // chains of every node share it, so the *total* bytes gate recovery.
+    return transfer_time(spec_.latency, total_bytes,
+                         spec_.read_bytes_per_sec * width_);
+  }
+
+ private:
+  config::StorageSpec spec_;
+  std::uint32_t width_;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_backend(const config::StorageSpec& spec,
+                                      std::uint32_t cluster_nodes) {
+  switch (spec.kind) {
+    case config::StorageSpec::Kind::kNone:
+      return nullptr;
+    case config::StorageSpec::Kind::kLocalDisk:
+      return std::make_unique<LocalDiskBackend>(spec);
+    case config::StorageSpec::Kind::kStripedRemote:
+      return std::make_unique<StripedRemoteBackend>(spec, cluster_nodes);
+  }
+  HC3I_CHECK(false, "make_backend: unknown storage kind");
+  return nullptr;
+}
+
+}  // namespace hc3i::storage

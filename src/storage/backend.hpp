@@ -1,0 +1,57 @@
+#pragma once
+
+// Checkpoint-storage backends: where CLC captures go and what they cost.
+//
+// The simulator does not move real bytes; a backend is a cost model charged
+// on the simulated clock.  Two are provided:
+//
+//  * LocalDiskBackend    — each node writes its capture to its own disk.
+//                          Node writes proceed in parallel, so a cluster-wide
+//                          capture stalls for the *largest* per-node write;
+//                          a restore replays each node's chain from its own
+//                          disk, again bounded by the largest chain.
+//  * StripedRemoteBackend — an stdchk-style striped store (PAPERS.md): each
+//                          write is chunked across `stripe_width` donor nodes,
+//                          multiplying effective bandwidth; reads aggregate
+//                          the same way, so restore cost follows the *total*
+//                          bytes in the cluster's chains, not the maximum.
+//
+// A backend is immutable after construction and shared by every agent of a
+// cluster; cost queries are pure, which keeps batch::Runner workers free to
+// own one per simulation context without cross-shard state.
+
+#include <cstdint>
+#include <memory>
+
+#include "config/spec.hpp"
+#include "util/time.hpp"
+
+namespace hc3i::storage {
+
+/// Cost model for one cluster's checkpoint store.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Short identifier used in reports ("local-disk", "striped-remote").
+  virtual const char* name() const = 0;
+
+  /// Wall-clock cost of one node persisting `bytes` of capture.  This is the
+  /// per-node stall charged while the tentative CLC part is written out.
+  virtual SimTime node_write_time(std::uint64_t bytes) const = 0;
+
+  /// Wall-clock cost of a cluster re-reading its checkpoint chains during
+  /// recovery.  `total_bytes` sums every node's chain; `max_node_bytes` is
+  /// the largest single chain.  Per-node media bound by the max, aggregated
+  /// media by the total.
+  virtual SimTime cluster_read_time(std::uint64_t total_bytes,
+                                    std::uint64_t max_node_bytes) const = 0;
+};
+
+/// Build the backend for one cluster, or nullptr when storage is not
+/// modelled (StorageSpec::Kind::kNone) — the caller keeps the free-capture
+/// seed behaviour in that case.
+std::unique_ptr<Backend> make_backend(const config::StorageSpec& spec,
+                                      std::uint32_t cluster_nodes);
+
+}  // namespace hc3i::storage

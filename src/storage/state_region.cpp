@@ -1,0 +1,96 @@
+#include "storage/state_region.hpp"
+
+#include <algorithm>
+
+namespace hc3i::storage {
+
+namespace {
+
+/// Deterministic content byte for (fill, position): splitmix64-style mixing
+/// so overlapping touches with different fills produce order-dependent but
+/// reproducible bytes.
+std::uint8_t content_byte(std::uint64_t fill, std::uint64_t pos) {
+  std::uint64_t z = fill + pos * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return static_cast<std::uint8_t>(z ^ (z >> 31));
+}
+
+}  // namespace
+
+StateRegion::StateRegion(std::uint64_t size, Content content)
+    : size_(size), content_(content) {
+  HC3I_CHECK(size_ > 0, "StateRegion: zero-sized region");
+  if (content_ == Content::kMaterialized) {
+    data_.assign(static_cast<std::size_t>(size_), 0);
+  }
+}
+
+void StateRegion::touch(std::uint64_t offset, std::uint64_t length,
+                        std::uint64_t fill) {
+  if (length == 0 || offset >= size_) return;
+  const std::uint64_t end = std::min(offset + length, size_);
+  dirty_lo_ = dirty() ? std::min(dirty_lo_, offset) : offset;
+  dirty_hi_ = std::max(dirty_hi_, end);
+  if (content_ == Content::kMaterialized) {
+    for (std::uint64_t p = offset; p < end; ++p) {
+      data_[static_cast<std::size_t>(p)] = content_byte(fill, p);
+    }
+  }
+}
+
+CaptureRecord StateRegion::capture(CaptureMode mode) {
+  CaptureRecord rec;
+  if (mode == CaptureMode::kIncremental && has_base_) {
+    rec.incremental = true;
+    rec.offset = dirty_lo_;
+    rec.length = dirty_bytes();  // zero touches -> zero-length, a free delta
+  } else {
+    rec.incremental = false;
+    rec.offset = 0;
+    rec.length = size_;
+    has_base_ = true;
+  }
+  if (content_ == Content::kMaterialized && rec.length > 0) {
+    rec.bytes.assign(data_.data() + rec.offset,
+                     static_cast<std::size_t>(rec.length));
+  }
+  dirty_lo_ = dirty_hi_ = 0;
+  return rec;
+}
+
+void StateRegion::reset_base() {
+  has_base_ = false;
+  dirty_lo_ = dirty_hi_ = 0;
+}
+
+void StateRegion::apply(const CaptureRecord& rec) {
+  HC3I_CHECK(content_ == Content::kMaterialized,
+             "StateRegion::apply on a modelled region");
+  HC3I_CHECK(rec.offset + rec.length <= size_,
+             "StateRegion::apply: capture exceeds region");
+  HC3I_CHECK(rec.bytes.size() == rec.length,
+             "StateRegion::apply: capture content size mismatch");
+  for (std::uint64_t i = 0; i < rec.length; ++i) {
+    data_[static_cast<std::size_t>(rec.offset + i)] =
+        rec.bytes[static_cast<std::size_t>(i)];
+  }
+}
+
+const std::vector<std::uint8_t>& StateRegion::contents() const {
+  HC3I_CHECK(content_ == Content::kMaterialized,
+             "StateRegion::contents on a modelled region");
+  return data_;
+}
+
+std::vector<std::uint8_t> StateRegion::rebuild(
+    std::uint64_t size, const std::vector<CaptureRecord>& chain) {
+  HC3I_CHECK(!chain.empty(), "StateRegion::rebuild: empty chain");
+  HC3I_CHECK(!chain.front().incremental && chain.front().length == size,
+             "StateRegion::rebuild: chain must start with a full capture");
+  StateRegion out(size, Content::kMaterialized);
+  for (const CaptureRecord& rec : chain) out.apply(rec);
+  return out.contents();
+}
+
+}  // namespace hc3i::storage

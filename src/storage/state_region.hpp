@@ -1,0 +1,134 @@
+#pragma once
+
+// Mutable application state with dirty-range capture.
+//
+// The paper charges every checkpoint the full process-state size; real
+// checkpointers do better.  The cpf shadow-range idiom (SNIPPETS.md) tracks
+// the lo/hi watermark of the region touched since the last capture, so an
+// incremental checkpoint writes bytes proportional to the state *touched*
+// between two CLCs, not the heap size.  A StateRegion models one process's
+// state area that way and produces CaptureRecords forming base + Σ deltas
+// chains; restore applies the chain back in order.
+//
+// Two content modes share the tracking logic:
+//   * kModelled     — accounting only (a few words per node).  What every
+//                     simulated WorkloadNode owns: 1000 nodes x 8 MiB of
+//                     state must never materialise.
+//   * kMaterialized — a real byte buffer.  What the property suite uses to
+//                     prove base + N deltas restores the exact bytes a full
+//                     snapshot would have captured, at every chain prefix.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hc3i::storage {
+
+/// How a capture treats the state since the previous one.
+enum class CaptureMode : std::uint8_t {
+  kFull,         ///< whole region: a new chain base
+  kIncremental,  ///< touched range only: a delta over the previous capture
+};
+
+/// Byte payload of a materialized capture.  Most incremental captures of a
+/// lightly-touched region are a handful of words; they live inline, larger
+/// ones spill to the heap.  (Modelled captures carry no bytes at all.)
+class CaptureBytes {
+ public:
+  /// Largest payload stored without a heap allocation.
+  static constexpr std::size_t kInlineBytes = 32;
+
+  CaptureBytes() = default;
+
+  void assign(const std::uint8_t* data, std::size_t len) {
+    if (len <= kInlineBytes) {
+      spill_.clear();
+      for (std::size_t i = 0; i < len; ++i) inline_[i] = data[i];
+    } else {
+      spill_.assign(data, data + len);
+    }
+    size_ = len;
+  }
+
+  std::size_t size() const { return size_; }
+  bool spilled() const { return size_ > kInlineBytes; }
+  const std::uint8_t* data() const {
+    return spilled() ? spill_.data() : inline_;
+  }
+  std::uint8_t operator[](std::size_t i) const {
+    HC3I_CHECK(i < size_, "CaptureBytes: index out of range");
+    return data()[i];
+  }
+
+ private:
+  std::uint8_t inline_[kInlineBytes] = {};
+  std::vector<std::uint8_t> spill_;
+  std::size_t size_{0};
+};
+
+/// One link of a checkpoint chain: a full image or one delta.
+struct CaptureRecord {
+  std::uint64_t offset{0};  ///< first byte covered
+  std::uint64_t length{0};  ///< bytes covered (== region size when full)
+  bool incremental{false};  ///< delta over the previous capture in the chain
+  CaptureBytes bytes;       ///< content (materialized regions only)
+};
+
+/// One process's modelled state area with lo/hi dirty-range tracking.
+class StateRegion {
+ public:
+  enum class Content : std::uint8_t { kModelled, kMaterialized };
+
+  explicit StateRegion(std::uint64_t size,
+                       Content content = Content::kModelled);
+
+  std::uint64_t size() const { return size_; }
+
+  /// Mark [offset, offset+length) dirty (clamped to the region).  In
+  /// materialized mode also writes deterministic content derived from
+  /// `fill`, so two regions receiving the same touch sequence hold the
+  /// same bytes.
+  void touch(std::uint64_t offset, std::uint64_t length,
+             std::uint64_t fill = 0);
+
+  /// Bytes an incremental capture would write right now (hi - lo watermark;
+  /// zero when clean).
+  std::uint64_t dirty_bytes() const {
+    return dirty_hi_ > dirty_lo_ ? dirty_hi_ - dirty_lo_ : 0;
+  }
+  bool dirty() const { return dirty_bytes() > 0; }
+
+  /// Capture and clear the dirty range.  kFull always covers the whole
+  /// region and starts a new chain; kIncremental covers the dirty watermark
+  /// only — zero-length when nothing was touched (a free capture) — and
+  /// degrades to a full capture when no chain base exists yet (first
+  /// capture, or first after restore()/reset_base()).
+  CaptureRecord capture(CaptureMode mode);
+
+  /// Forget the chain base: the next capture is full regardless of mode.
+  /// Called when the process restores from a checkpoint — the restored
+  /// image, not this region's history, is the new baseline.
+  void reset_base();
+
+  /// Apply one capture record's content (materialized regions only).
+  void apply(const CaptureRecord& rec);
+
+  /// Materialized content (REQUIRES kMaterialized).
+  const std::vector<std::uint8_t>& contents() const;
+
+  /// Rebuild a region of `size` bytes from a chain prefix: chain[0] must be
+  /// a full capture, the rest deltas in capture order.
+  static std::vector<std::uint8_t> rebuild(
+      std::uint64_t size, const std::vector<CaptureRecord>& chain);
+
+ private:
+  std::uint64_t size_;
+  Content content_;
+  std::uint64_t dirty_lo_{0};
+  std::uint64_t dirty_hi_{0};  ///< exclusive; lo == hi means clean
+  bool has_base_{false};       ///< a chain base exists since last reset
+  std::vector<std::uint8_t> data_;  ///< kMaterialized only
+};
+
+}  // namespace hc3i::storage

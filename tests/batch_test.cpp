@@ -25,6 +25,7 @@
 #include "batch/runner.hpp"
 #include "batch/sweep.hpp"
 #include "config/parser.hpp"
+#include "config/spec.hpp"
 #include "driver/run.hpp"
 #include "driver/sim_context.hpp"
 #include "fault/campaign.hpp"
@@ -88,6 +89,107 @@ TEST(ShardIsolation, ShardedDumpsMatchSoloAtEveryThreadCount) {
           << cases[i].name() << " diverged at threads=" << threads;
     }
   }
+}
+
+/// The storage axis under sharding: capture stalls and chain reads run on
+/// the simulated clock, so a storage-charged grid must shard as cleanly as
+/// the plain one — byte-identical to solo at every thread count.
+batch::SweepSpec storage_sweep() {
+  batch::SweepSpec sweep;
+  sweep.topologies = {batch::scale_topology(2, 4, minutes(20))};
+  sweep.campaigns = {batch::no_campaign(), batch::reference_campaign()};
+  config::StorageSpec local;
+  local.kind = config::StorageSpec::Kind::kLocalDisk;
+  config::StorageSpec striped;
+  striped.kind = config::StorageSpec::Kind::kStripedRemote;
+  striped.incremental = false;
+  sweep.storage = {batch::storage_point("local", local),
+                   batch::storage_point("striped-full", striped, minutes(2))};
+  sweep.seeds = {1, 2, 3};
+  return sweep;
+}
+
+TEST(ShardIsolation, StorageChargedGridMatchesSoloAtEveryThreadCount) {
+  const std::vector<batch::RunCase> cases = batch::expand(storage_sweep());
+  ASSERT_EQ(cases.size(), 12u);
+  const std::vector<std::string> solo = solo_dumps(cases);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{8}}) {
+    batch::RunnerOptions ropts;
+    ropts.threads = threads;
+    ropts.keep_dumps = true;
+    const batch::BatchReport report = batch::Runner(ropts).run(cases);
+    EXPECT_EQ(report.failures(), 0u);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      EXPECT_EQ(report.cases[i].dump, solo[i])
+          << cases[i].name() << " diverged at threads=" << threads;
+      // Every storage-charged case actually exercised the cost model.
+      EXPECT_GT(report.cases[i].ckpt_bytes, 0u) << cases[i].name();
+    }
+  }
+}
+
+TEST(SweepExpand, StorageAxisMultipliesTheGridAndDerivesSpecs) {
+  const batch::SweepSpec sweep = storage_sweep();
+  EXPECT_EQ(sweep.runs(), 12u);
+  const std::vector<batch::RunCase> cases = batch::expand(sweep);
+  EXPECT_EQ(cases[0].name(), "scale_2x4/none/local s=1");
+  EXPECT_EQ(cases[3].name(), "scale_2x4/none/striped-full s=1");
+  // The derived spec carries the point's backend and interval override; the
+  // base topology spec is untouched.
+  EXPECT_EQ(cases[0].spec->topology.clusters[0].storage.kind,
+            config::StorageSpec::Kind::kLocalDisk);
+  EXPECT_EQ(cases[3].spec->topology.clusters[0].storage.kind,
+            config::StorageSpec::Kind::kStripedRemote);
+  EXPECT_EQ(cases[3].spec->timers.clusters[0].clc_period, minutes(2));
+  EXPECT_EQ(sweep.topologies[0].spec->topology.clusters[0].storage.kind,
+            config::StorageSpec::Kind::kNone);
+  // Seeds of one (topology, storage) cell share the derived spec.
+  EXPECT_EQ(cases[3].spec, cases[4].spec);
+  EXPECT_NE(cases[0].spec, cases[3].spec);
+}
+
+TEST(SweepConfig, ParsesStorageSections) {
+  const char* text =
+      "[topology t]\n"
+      "preset = scale\n"
+      "clusters = 2\n"
+      "nodes = 4\n"
+      "minutes = 10\n"
+      "\n"
+      "[storage fast]\n"
+      "kind = striped-remote\n"
+      "latency = 2ms\n"
+      "write_bandwidth = 500MB/s\n"
+      "read_bandwidth = 1GB/s\n"
+      "stripe_width = 8\n"
+      "incremental = 0\n"
+      "interval = 90s\n"
+      "state_size = 32MiB\n"
+      "\n"
+      "[storage slow]\n"
+      "kind = local-disk\n";
+  const batch::SweepSpec sweep = batch::parse_sweep(text, "test.ini");
+  ASSERT_EQ(sweep.storage.size(), 2u);
+  const batch::StoragePoint& fast = sweep.storage[0];
+  EXPECT_EQ(fast.name, "fast");
+  EXPECT_EQ(fast.storage.kind, config::StorageSpec::Kind::kStripedRemote);
+  EXPECT_EQ(fast.storage.latency, milliseconds(2));
+  EXPECT_EQ(fast.storage.stripe_width, 8u);
+  EXPECT_FALSE(fast.storage.incremental);
+  EXPECT_EQ(fast.clc_period, seconds(90));
+  EXPECT_EQ(fast.state_bytes, 32ull << 20);
+  EXPECT_EQ(sweep.storage[1].storage.kind,
+            config::StorageSpec::Kind::kLocalDisk);
+  EXPECT_EQ(sweep.runs(), 2u);
+  // Bad storage sections are rejected with the file origin.
+  EXPECT_THROW(batch::parse_sweep("[topology t]\npreset = small\n"
+                                  "[storage s]\nkind = carrier-pigeon\n"),
+               config::ParseError);
+  EXPECT_THROW(batch::parse_sweep("[topology t]\npreset = small\n"
+                                  "[storage s]\nfrobnicate = 1\n"),
+               config::ParseError);
 }
 
 TEST(ShardIsolation, WarmArenaRunsAreByteIdentical) {

@@ -32,7 +32,11 @@ class ScriptedApp final : public proto::AppHandle {
     proto::AppSnapshot snap;
     snap.progress = progress;
     snap.virtual_work = virtual_work;
-    snap.state_bytes = 1024;
+    // Must match the spec's declared state size: the protocol checks every
+    // captured part against it (regression: a fixture hardcoding 1024 here
+    // silently mis-sized all storage accounting).
+    snap.state_bytes = state_bytes;
+    snap.delta_bytes = state_bytes;
     snap.opaque = {delivered_count};
     return snap;
   }
@@ -57,6 +61,7 @@ class ScriptedApp final : public proto::AppHandle {
 
   std::uint64_t progress{0};
   SimTime virtual_work{};
+  std::uint64_t state_bytes{1024};  ///< MiniWorld aligns this with the spec
   std::uint64_t delivered_count{0};
   std::vector<net::Envelope> delivered;  ///< every delivery ever (not state)
   bool frozen{false};
@@ -76,6 +81,7 @@ class MiniWorld {
     apps.reserve(fed.topology().node_count());
     for (std::uint32_t i = 0; i < fed.topology().node_count(); ++i) {
       apps.push_back(std::make_unique<ScriptedApp>());
+      apps.back()->state_bytes = spec_.application.state_bytes;
     }
     std::vector<proto::AppHandle*> handles;
     for (auto& a : apps) handles.push_back(a.get());
