@@ -43,7 +43,6 @@
 
 #include <sys/resource.h>
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
@@ -114,16 +113,12 @@ void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); 
 #include "stats/registry.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
+#include "util/walltime.hpp"
 
 namespace {
 
 using namespace hc3i;
-
-double now_sec() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+using util::now_sec;
 
 /// Peak resident set size in kilobytes (proxy for allocation discipline).
 long peak_rss_kb() {

@@ -28,7 +28,6 @@
 // (node-seconds of recomputation), lat_ms (mean injection-to-resume
 // recovery latency).
 
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -40,16 +39,13 @@
 #include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/quantity.hpp"
+#include "util/walltime.hpp"
 
 using namespace hc3i;
 
 namespace {
 
-double now_sec() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+using util::now_sec;
 
 /// Split "a,b,c" into non-empty tokens.
 std::vector<std::string> split_list(const std::string& s) {

@@ -37,7 +37,6 @@
 //                                              #   diffs it against
 //                                              #   bench/golden_counters_scale_storage.txt
 
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -47,16 +46,13 @@
 #include "fault/campaign.hpp"
 #include "util/flags.hpp"
 #include "util/quantity.hpp"
+#include "util/walltime.hpp"
 
 using namespace hc3i;
 
 namespace {
 
-double now_sec() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+using util::now_sec;
 
 /// Parse "2,4,6" into cluster counts; returns false (with *out untouched
 /// beyond valid prefixes) on a non-numeric or zero token.

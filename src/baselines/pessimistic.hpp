@@ -85,6 +85,8 @@ class PessimisticAgent final : public proto::AgentBase {
   proto::AppSnapshot checkpoint_;
   std::uint64_t checkpoint_mark_{0};
   std::vector<net::Envelope> receive_log_;  ///< deliveries since checkpoint
+  // lint: unordered-ok(membership-only duplicate filter; counters count
+  // drops as they happen, nothing ever iterates the set)
   std::unordered_set<std::uint64_t> dedup_; ///< all-time delivered app_seqs
   bool rollback_pending_{false};
   std::vector<net::Envelope> post_rollback_stash_;

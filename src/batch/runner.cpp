@@ -1,23 +1,19 @@
 #include "batch/runner.hpp"
 
 #include <atomic>
-#include <chrono>
 #include <exception>
 #include <thread>
 #include <utility>
 
 #include "driver/run.hpp"
 #include "driver/sim_context.hpp"
+#include "util/walltime.hpp"
 
 namespace hc3i::batch {
 
 namespace {
 
-double now_sec() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+using util::now_sec;
 
 /// Execute one grid cell inside the worker's context.
 CaseResult run_case(const RunCase& rc, driver::SimContext& ctx,

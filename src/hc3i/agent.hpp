@@ -36,7 +36,6 @@
 #include <memory>
 #include <optional>
 #include <set>
-#include <unordered_set>
 #include <vector>
 
 #include "hc3i/control.hpp"

@@ -91,6 +91,8 @@ class DedupSet {
   }
 
  private:
+  // lint: unordered-ok(membership queries only; every ordered consumer —
+  // checkpoints, dumps — reads the sorted DedupImage, never this set)
   std::unordered_set<std::uint64_t> set_;
   /// Cached sorted image; null means stale (a mutation happened since the
   /// last capture).  Mutable: capture() is logically const.

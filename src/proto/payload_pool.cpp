@@ -10,6 +10,8 @@ std::uint32_t next_pool_type_index() {
   // The single cross-thread touch point of the pool layer: a dense index per
   // payload type, assigned at first use.  Everything downstream (the lists
   // themselves) is arena-owned and single-threaded.
+  // lint: static-ok(type-index registry: atomic, monotonic, id-assignment
+  // only — never feeds simulated state or dump order)
   static std::atomic<std::uint32_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed);
 }

@@ -86,6 +86,8 @@ std::uint32_t pool_type_index() {
 }
 
 /// The calling thread's current arena (null outside any installed scope).
+// lint: static-ok(arena install point: thread_local by design — each batch
+// worker installs its own arena, nothing crosses threads)
 inline thread_local PayloadArena* t_current_arena = nullptr;
 
 #if HC3I_POOL_OWNER_TAG_ENABLED

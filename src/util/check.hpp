@@ -7,6 +7,14 @@
 // event scheduling.  Failures throw CheckFailure (rather than aborting) so
 // tests can assert on violated invariants and the simulator driver can report
 // the simulated time at which an inconsistency was detected.
+//
+// Defining HC3I_DISABLE_CHECKS before including this header compiles every
+// HC3I_CHECK in that translation unit down to nothing — arguments are NOT
+// evaluated.  That is only sound because check arguments are required to be
+// side-effect free (lint rule check-pure in tools/hc3i_lint.py, see
+// docs/invariants.md); tests/check_discipline_test.cpp pins both halves of
+// the contract (enabled checks evaluate exactly once and throw on
+// violation, disabled checks evaluate nothing).
 
 #include <stdexcept>
 #include <string>
@@ -26,6 +34,15 @@ namespace detail {
 
 /// Check an invariant; throws CheckFailure with location info when violated.
 /// The message argument is only evaluated on failure.
+#ifdef HC3I_DISABLE_CHECKS
+// The disabled form must not evaluate anything (behaviour neutrality), but
+// the arguments must still parse so a TU with checks off cannot bit-rot:
+// sizeof of an unevaluated operand type-checks the condition for free.
+#define HC3I_CHECK(expr, ...) \
+  do {                        \
+    (void)sizeof(!(expr));    \
+  } while (0)
+#else
 #define HC3I_CHECK(expr, ...)                                       \
   do {                                                              \
     if (!(expr)) {                                                  \
@@ -33,6 +50,7 @@ namespace detail {
                                    ::std::string(__VA_ARGS__));     \
     }                                                               \
   } while (0)
+#endif
 
 /// Mark unreachable code paths.
 #define HC3I_UNREACHABLE(msg) \

@@ -5,6 +5,8 @@
 namespace hc3i {
 
 namespace {
+// lint: static-ok(trace-config registry: installed by tests via
+// Trace::set_sink outside any run, read-only on the emit path)
 TraceSink g_sink;  // empty => stderr
 }  // namespace
 

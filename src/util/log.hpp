@@ -39,6 +39,8 @@ namespace detail {
 /// — protocol milestones sit on paths that run per CLC round, and the
 /// alloc-counter audit (docs/scaling.md) requires tracing-off to cost
 /// nothing measurable.  Written only through Trace::set_level.
+// lint: static-ok(trace-config registry: set once by the driver/tests
+// before a run, never written from simulation code)
 inline TraceLevel g_trace_level = TraceLevel::kStats;
 }  // namespace detail
 

@@ -1,0 +1,27 @@
+#pragma once
+
+// The one sanctioned wall-clock source in the tree.
+//
+// Simulation code must be a pure function of (seed, spec): the lint rule
+// det-wallclock (tools/hc3i_lint.py, docs/invariants.md) bans every host
+// time and entropy source — std::chrono clocks, time(), rand(),
+// std::random_device — from src/, examples/ and bench/.  Throughput
+// reporting still needs real elapsed time, so that single legitimate use
+// lives here, behind one function, and this file is the only det-wallclock
+// entry in tools/lint_baseline.txt.  Nothing returned by now_sec() may feed
+// simulated state, counters, RNG seeds, or dump output; it is for
+// events-per-second style reporting lines only.
+
+#include <chrono>
+
+namespace hc3i::util {
+
+/// Monotonic wall-clock seconds since an arbitrary epoch; subtract two
+/// samples for an elapsed-time measurement.
+inline double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace hc3i::util

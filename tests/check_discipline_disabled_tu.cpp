@@ -1,0 +1,25 @@
+// Compiled with HC3I_DISABLE_CHECKS: every HC3I_CHECK in this translation
+// unit must compile to nothing and evaluate nothing.  The counting probes
+// here are deliberate — this TU exists to *measure* evaluation, which is
+// exactly why real check arguments must be side-effect free (lint rule
+// check-pure): with them, disabled builds would diverge from enabled ones.
+// tests/check_discipline_test.cpp (checks enabled) drives this TU and
+// asserts the counters stay untouched.
+
+#define HC3I_DISABLE_CHECKS
+#include "util/check.hpp"
+
+#include "check_discipline_probe.hpp"
+
+namespace hc3i_test {
+
+int run_checks_in_disabled_tu(Probe& probe) {
+  // A passing condition, a failing condition, and a message expression:
+  // none of them may run.  With checks disabled the failing condition must
+  // also not throw.
+  HC3I_CHECK(probe.count_true(), "never built");
+  HC3I_CHECK(probe.count_false(), probe.count_message());
+  return probe.evaluations;
+}
+
+}  // namespace hc3i_test

@@ -1,0 +1,32 @@
+#pragma once
+
+// Shared between the enabled and disabled check-discipline TUs: a probe
+// whose member calls count how often HC3I_CHECK arguments are evaluated.
+
+#include <string>
+
+namespace hc3i_test {
+
+struct Probe {
+  int evaluations = 0;
+  int message_builds = 0;
+
+  bool count_true() {
+    ++evaluations;
+    return true;
+  }
+  bool count_false() {
+    ++evaluations;
+    return false;
+  }
+  std::string count_message() {
+    ++message_builds;
+    return "probe message";
+  }
+};
+
+/// Defined in check_discipline_disabled_tu.cpp (HC3I_DISABLE_CHECKS set):
+/// runs a passing and a failing HC3I_CHECK; returns probe.evaluations.
+int run_checks_in_disabled_tu(Probe& probe);
+
+}  // namespace hc3i_test

@@ -1,0 +1,56 @@
+// The two halves of the HC3I_CHECK contract (docs/invariants.md,
+// "check discipline"):
+//
+//   enabled  — the condition is evaluated exactly once; a false condition
+//              throws CheckFailure carrying expression and location; the
+//              message is built only on failure.
+//   disabled — (HC3I_DISABLE_CHECKS, the sibling TU) nothing is evaluated
+//              at all, so checks are behaviour-neutral *provided* their
+//              arguments are side-effect free — which is what lint rule
+//              check-pure enforces over src/, examples/ and bench/.
+
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "check_discipline_probe.hpp"
+
+namespace hc3i_test {
+namespace {
+
+TEST(CheckDiscipline, EnabledEvaluatesConditionExactlyOnce) {
+  Probe probe;
+  HC3I_CHECK(probe.count_true(), "passing check");
+  EXPECT_EQ(probe.evaluations, 1);
+  EXPECT_EQ(probe.message_builds, 0) << "message built on the success path";
+}
+
+TEST(CheckDiscipline, EnabledThrowsOnViolationWithLocation) {
+  Probe probe;
+  try {
+    HC3I_CHECK(probe.count_false(), probe.count_message());
+    FAIL() << "violated check did not throw";
+  } catch (const hc3i::CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("count_false"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_discipline_test.cpp"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("probe message"), std::string::npos) << what;
+  }
+  EXPECT_EQ(probe.evaluations, 1);
+  EXPECT_EQ(probe.message_builds, 1);
+}
+
+TEST(CheckDiscipline, DisabledEvaluatesNothing) {
+  Probe probe;
+  // The disabled TU runs a passing check, a failing check, and a message
+  // expression.  Behaviour neutrality: no evaluation, no message build,
+  // no throw.
+  const int evaluations = run_checks_in_disabled_tu(probe);
+  EXPECT_EQ(evaluations, 0) << "disabled HC3I_CHECK evaluated an argument";
+  EXPECT_EQ(probe.evaluations, 0);
+  EXPECT_EQ(probe.message_builds, 0);
+}
+
+}  // namespace
+}  // namespace hc3i_test

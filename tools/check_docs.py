@@ -11,7 +11,10 @@ skipped) for:
   * relative links and images that do not resolve to an existing file or
     directory (anchors are stripped; absolute URLs are ignored),
   * unbalanced fenced code blocks,
-  * duplicate top-level titles (more than one leading `# ` heading).
+  * duplicate top-level titles (more than one leading `# ` heading),
+  * subsystem coverage: every `src/<subsystem>/` directory must be
+    mentioned in docs/architecture.md or docs/paper_map.md — a new
+    subsystem cannot land undocumented.
 
 Exit status is non-zero when any check fails, so CI can gate on it.
 """
@@ -90,6 +93,38 @@ def check_file(path: str, root: str):
     return errors
 
 
+def check_subsystem_coverage(root: str):
+    """Every src/<subsystem>/ needs a row in the architecture docs.
+
+    'Row' is deliberately loose — any `src/<name>` mention in
+    docs/architecture.md or docs/paper_map.md counts, table or prose —
+    because the two files organise by concern (paper section, perf story),
+    not by directory.  What this enforces is that no subsystem exists only
+    in the tree.
+    """
+    errors = []
+    src = os.path.join(root, "src")
+    if not os.path.isdir(src):
+        return errors
+    corpus = ""
+    doc_names = ("architecture.md", "paper_map.md")
+    for name in doc_names:
+        path = os.path.join(root, "docs", name)
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as f:
+                corpus += f.read()
+    for entry in sorted(os.listdir(src)):
+        if not os.path.isdir(os.path.join(src, entry)):
+            continue
+        if re.search(r"\bsrc/" + re.escape(entry) + r"\b", corpus):
+            continue
+        errors.append(
+            f"src/{entry}/ is not mentioned in docs/architecture.md or "
+            "docs/paper_map.md — add a row for the subsystem"
+        )
+    return errors
+
+
 def main() -> int:
     root = repo_root()
     all_errors = []
@@ -97,6 +132,7 @@ def main() -> int:
     for path in md_files(root):
         checked += 1
         all_errors.extend(check_file(path, root))
+    all_errors.extend(check_subsystem_coverage(root))
     for err in all_errors:
         print(f"error: {err}", file=sys.stderr)
     print(f"check_docs: {checked} markdown files, {len(all_errors)} errors")
