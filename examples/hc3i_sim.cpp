@@ -6,10 +6,18 @@
 //              [--seed=1] [--protocol=hc3i|independent|global|hier|pessimistic]
 //              [--failures] [--campaign=<campaign.conf>]
 //              [--trace=stats|protocol|action] [--csv]
+//              [--trace-out=<trace.json>] [--metrics-out=<metrics.tsv>]
+//              [--metrics-interval=<dur>]
 //
 // --campaign loads a declarative fault plan (see config/parser.hpp for the
 // file format); the run report then includes the per-incident recovery
 // telemetry table.
+//
+// --trace-out writes the structured protocol trace as Chrome/Perfetto
+// trace_event JSON (open in https://ui.perfetto.dev); --metrics-out writes
+// the periodic counter samples as TSV, sampled every --metrics-interval of
+// simulated time (default 30s when --metrics-out is given).  Both outputs
+// are byte-reproducible for a fixed seed; see docs/observability.md.
 //
 // Prints the end-of-run statistics block (the simulator's "lowest output",
 // per the paper); --trace=action shows "each node time-stamped action".
@@ -23,8 +31,10 @@
 #include "config/parser.hpp"
 #include "driver/report.hpp"
 #include "driver/run.hpp"
+#include "obs/export.hpp"
 #include "util/flags.hpp"
 #include "util/log.hpp"
+#include "util/quantity.hpp"
 
 using namespace hc3i;
 
@@ -56,7 +66,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: hc3i_sim <topology.conf> <application.conf> "
                  "<timers.conf> [--seed=N] [--protocol=...] [--failures] "
-                 "[--campaign=<file>] [--trace=...] [--csv]\n");
+                 "[--campaign=<file>] [--trace=...] [--csv] "
+                 "[--trace-out=<f>] [--metrics-out=<f>] "
+                 "[--metrics-interval=<dur>]\n");
     return 2;
   }
   try {
@@ -76,7 +88,31 @@ int main(int argc, char** argv) {
     }
     opts.validate = false;  // report violations instead of throwing
 
+    const std::string trace_out = flags.get("trace-out", "");
+    const std::string metrics_out = flags.get("metrics-out", "");
+    opts.trace = !trace_out.empty();
+    const std::string interval_text = flags.get("metrics-interval", "");
+    if (!interval_text.empty()) {
+      const auto parsed = parse_duration(interval_text);
+      HC3I_CHECK(parsed.has_value() && !parsed->is_infinite(),
+                 "bad --metrics-interval: " + interval_text);
+      opts.metrics_interval = *parsed;
+    } else if (!metrics_out.empty()) {
+      opts.metrics_interval = seconds(30);
+    }
+
     const driver::RunResult result = driver::run_simulation(opts);
+    if (result.obs != nullptr) {
+      if (!trace_out.empty()) {
+        HC3I_CHECK(obs::write_text_file(trace_out, obs::trace_json(*result.obs)),
+                   "cannot write " + trace_out);
+      }
+      if (!metrics_out.empty()) {
+        HC3I_CHECK(
+            obs::write_text_file(metrics_out, obs::metrics_tsv(*result.obs)),
+            "cannot write " + metrics_out);
+      }
+    }
     if (flags.get_bool("csv", false)) {
       std::printf("%s", driver::render_counters_csv(result).c_str());
     } else {

@@ -36,6 +36,15 @@
 //                                              #   --overlap --dump-counters CI
 //                                              #   diffs it against
 //                                              #   bench/golden_counters_scale_storage.txt
+//   ./scale_federation --trace-out=t.json --metrics-out=m.tsv
+//                                              # structured protocol trace
+//                                              #   (Perfetto trace_event JSON)
+//                                              #   and periodic counter samples
+//                                              #   (--metrics-interval, default
+//                                              #   30s); byte-reproducible per
+//                                              #   seed — CI byte-compares two
+//                                              #   passes.  Sweep rows get a
+//                                              #   ".c<N>" path suffix.
 
 #include <cstdio>
 #include <string>
@@ -44,6 +53,8 @@
 #include "config/presets.hpp"
 #include "driver/run.hpp"
 #include "fault/campaign.hpp"
+#include "obs/export.hpp"
+#include "util/check.hpp"
 #include "util/flags.hpp"
 #include "util/quantity.hpp"
 #include "util/walltime.hpp"
@@ -116,15 +127,45 @@ struct RowStats {
   std::uint64_t gc_saved_bytes;
 };
 
+/// Observability outputs for one run; paths empty = off.
+struct ObsOutputs {
+  std::string trace_out;
+  std::string metrics_out;
+  SimTime metrics_interval{SimTime::zero()};
+};
+
+/// Per-sweep-row output path: verbatim for a single row, suffixed with the
+/// cluster count otherwise so rows never clobber each other.
+std::string row_path(const std::string& base, std::size_t clusters,
+                     bool multi) {
+  return multi ? base + ".c" + std::to_string(clusters) : base;
+}
+
 RowStats run_one(std::size_t clusters, std::uint32_t nodes, SimTime total,
-                 std::uint64_t seed, FaultMode mode, bool storage) {
+                 std::uint64_t seed, FaultMode mode, bool storage,
+                 const ObsOutputs& obs_out, bool multi_row) {
   driver::RunOptions opts;
   opts.spec = config::scale_federation_spec(clusters, nodes, total);
   if (storage) apply_storage(&opts.spec);
   apply_fault_mode(&opts, mode, clusters, nodes, total);
   opts.seed = seed;
+  opts.trace = !obs_out.trace_out.empty();
+  opts.metrics_interval = obs_out.metrics_interval;
   const double t0 = now_sec();
   const driver::RunResult result = driver::run_simulation(opts);
+  if (result.obs != nullptr) {
+    if (!obs_out.trace_out.empty()) {
+      const std::string path = row_path(obs_out.trace_out, clusters, multi_row);
+      HC3I_CHECK(obs::write_text_file(path, obs::trace_json(*result.obs)),
+                 "cannot write " + path);
+    }
+    if (!obs_out.metrics_out.empty()) {
+      const std::string path =
+          row_path(obs_out.metrics_out, clusters, multi_row);
+      HC3I_CHECK(obs::write_text_file(path, obs::metrics_tsv(*result.obs)),
+                 "cannot write " + path);
+    }
+  }
   RowStats row{};
   row.events = result.events_executed;
   row.wall_sec = now_sec() - t0;
@@ -159,11 +200,14 @@ int main(int argc, char** argv) {
   for (const std::string& name : flags.names()) {
     if (name != "clusters" && name != "nodes" && name != "seed" &&
         name != "minutes" && name != "sweep" && name != "dump-counters" &&
-        name != "faulty" && name != "overlap" && name != "storage") {
+        name != "faulty" && name != "overlap" && name != "storage" &&
+        name != "trace-out" && name != "metrics-out" &&
+        name != "metrics-interval") {
       std::fprintf(stderr,
                    "unknown flag --%s (known: --clusters --nodes --seed "
                    "--minutes --sweep --dump-counters --faulty --overlap "
-                   "--storage)\n",
+                   "--storage --trace-out --metrics-out "
+                   "--metrics-interval)\n",
                    name.c_str());
       return 2;
     }
@@ -185,6 +229,22 @@ int main(int argc, char** argv) {
     return 0;
   }
   const SimTime total = minutes(flags.get_int("minutes", 30));
+
+  ObsOutputs obs_out;
+  obs_out.trace_out = flags.get("trace-out", "");
+  obs_out.metrics_out = flags.get("metrics-out", "");
+  const std::string interval_text = flags.get("metrics-interval", "");
+  if (!interval_text.empty()) {
+    const auto parsed = parse_duration(interval_text);
+    if (!parsed.has_value() || parsed->is_infinite()) {
+      std::fprintf(stderr, "bad --metrics-interval: %s\n",
+                   interval_text.c_str());
+      return 2;
+    }
+    obs_out.metrics_interval = *parsed;
+  } else if (!obs_out.metrics_out.empty()) {
+    obs_out.metrics_interval = seconds(30);
+  }
 
   std::vector<std::size_t> sweep;
   if (!parse_sweep(flags.get("sweep", ""), &sweep)) {
@@ -209,7 +269,8 @@ int main(int argc, char** argv) {
               "events", "wall_s", "events/s", "pairs", "max_clcs",
               "gc_saved_B");
   for (const std::size_t c : sweep) {
-    const RowStats row = run_one(c, nodes, total, seed, mode, storage);
+    const RowStats row = run_one(c, nodes, total, seed, mode, storage, obs_out,
+                                 sweep.size() > 1);
     std::printf("%9zu %7u %10llu %9.2f %12.0f %10zu %12llu %12llu\n", c,
                 c * nodes, static_cast<unsigned long long>(row.events),
                 row.wall_sec,

@@ -21,6 +21,13 @@
 //                                                  #   checkpoint interval x
 //                                                  #   storage bandwidth for
 //                                                  #   both backends
+//   ./sweep --obs-dir=traces [--metrics-interval=30s]
+//                                                  # per-case observability:
+//                                                  #   every grid cell writes
+//                                                  #   traces/case<i>.trace.json
+//                                                  #   (+ .metrics.tsv); paths
+//                                                  #   are disjoint per case so
+//                                                  #   shards never collide
 //
 // --campaigns kinds: none (failure-free), faulty (the reference campaign in
 // legacy serialized mode, as the --faulty golden), overlap (concurrent
@@ -244,11 +251,12 @@ int main(int argc, char** argv) {
     if (name != "clusters" && name != "nodes" && name != "minutes" &&
         name != "campaigns" && name != "seeds" && name != "threads" &&
         name != "json" && name != "config" && name != "grid" &&
-        name != "protocol") {
+        name != "protocol" && name != "obs-dir" &&
+        name != "metrics-interval") {
       std::fprintf(stderr,
                    "unknown flag --%s (known: --clusters --nodes --minutes "
                    "--campaigns --seeds --threads --json --config --grid "
-                   "--protocol)\n",
+                   "--protocol --obs-dir --metrics-interval)\n",
                    name.c_str());
       return 2;
     }
@@ -327,6 +335,17 @@ int main(int argc, char** argv) {
 
   batch::RunnerOptions opts;
   opts.threads = threads;
+  opts.obs_dir = flags.get("obs-dir", "");
+  if (!opts.obs_dir.empty()) {
+    const std::string interval_text = flags.get("metrics-interval", "30s");
+    const auto parsed = parse_duration(interval_text);
+    if (!parsed.has_value() || parsed->is_infinite()) {
+      std::fprintf(stderr, "bad --metrics-interval: %s\n",
+                   interval_text.c_str());
+      return 2;
+    }
+    opts.obs_metrics_interval = *parsed;
+  }
   const batch::Runner runner(opts);
   batch::BatchReport report;
   try {

@@ -7,6 +7,7 @@
 
 #include "driver/run.hpp"
 #include "driver/sim_context.hpp"
+#include "obs/export.hpp"
 #include "util/walltime.hpp"
 
 namespace hc3i::batch {
@@ -17,7 +18,7 @@ using util::now_sec;
 
 /// Execute one grid cell inside the worker's context.
 CaseResult run_case(const RunCase& rc, driver::SimContext& ctx,
-                    bool keep_dump) {
+                    const RunnerOptions& ropts) {
   CaseResult cr;
   cr.index = rc.index;
   cr.topology = rc.topology;
@@ -30,7 +31,26 @@ CaseResult run_case(const RunCase& rc, driver::SimContext& ctx,
     // Violations become a failed CaseResult, not an exception: one sick
     // grid cell must not abort its worker's remaining runs.
     opts.validate = false;
+    if (!ropts.obs_dir.empty()) {
+      opts.trace = true;
+      opts.metrics_interval = ropts.obs_metrics_interval;
+    }
     const driver::RunResult result = driver::run_simulation(opts, ctx);
+    if (!ropts.obs_dir.empty() && result.obs != nullptr) {
+      // Disjoint per case (keyed by grid index), so workers never race on a
+      // path no matter how the cursor interleaves.
+      const std::string base =
+          ropts.obs_dir + "/case" + std::to_string(rc.index);
+      if (!obs::write_text_file(base + ".trace.json",
+                                obs::trace_json(*result.obs))) {
+        cr.error = "cannot write " + base + ".trace.json";
+      }
+      if (ropts.obs_metrics_interval != SimTime::zero() &&
+          !obs::write_text_file(base + ".metrics.tsv",
+                                obs::metrics_tsv(*result.obs))) {
+        cr.error = "cannot write " + base + ".metrics.tsv";
+      }
+    }
     cr.events = result.events_executed;
     cr.violations = result.violations.size();
     for (std::size_t c = 0; c < rc.spec->topology.cluster_count(); ++c) {
@@ -44,8 +64,8 @@ CaseResult run_case(const RunCase& rc, driver::SimContext& ctx,
     cr.ckpt_stall_us = result.counter("ckpt.stall_us");
     cr.recovery_read_us = result.counter("recovery.read_us");
     cr.lost_work_s = result.registry.summary("rollback.lost_work_s").sum();
-    if (keep_dump) cr.dump = result.registry.dump();
-    cr.ok = cr.violations == 0;
+    if (ropts.keep_dumps) cr.dump = result.registry.dump();
+    cr.ok = cr.violations == 0 && cr.error.empty();
   } catch (const std::exception& e) {
     cr.ok = false;
     cr.error = e.what();
@@ -79,7 +99,7 @@ BatchReport Runner::run(const std::vector<RunCase>& cases) const {
   // claiming beats static striping; grid order still governs the report
   // because results land in their case's slot, not in completion order.
   std::atomic<std::size_t> next{0};
-  const bool keep_dumps = opts_.keep_dumps;
+  const RunnerOptions& ropts = opts_;
   const double t0 = now_sec();
 
   const auto worker = [&](std::size_t widx) {
@@ -91,7 +111,7 @@ BatchReport Runner::run(const std::vector<RunCase>& cases) const {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= cases.size()) break;
-      report.cases[i] = run_case(cases[i], ctx, keep_dumps);
+      report.cases[i] = run_case(cases[i], ctx, ropts);
       ++ws.runs;
     }
     ws.wall_sec = now_sec() - w0;

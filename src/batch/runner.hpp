@@ -15,10 +15,12 @@
 // CI job watches the no-sharing claim.
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "batch/report.hpp"
 #include "batch/sweep.hpp"
+#include "util/time.hpp"
 
 namespace hc3i::batch {
 
@@ -29,6 +31,15 @@ struct RunnerOptions {
   /// Retain each run's full counter dump in its CaseResult (the
   /// shard-isolation tests and the determinism grid byte-compare these).
   bool keep_dumps{false};
+  /// When non-empty, every case runs with the structured trace on and
+  /// writes `<obs_dir>/case<index>.trace.json` (plus
+  /// `case<index>.metrics.tsv` when `obs_metrics_interval` is non-zero).
+  /// Paths are keyed by the case's grid index, so concurrent workers write
+  /// disjoint files; contents are byte-identical across shard counts
+  /// because the runs themselves are.
+  std::string obs_dir;
+  /// Metrics sampling period for obs_dir cases (zero = trace only).
+  SimTime obs_metrics_interval{SimTime::zero()};
 };
 
 /// Shards a sweep's runs across worker threads, each with its own

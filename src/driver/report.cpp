@@ -81,6 +81,15 @@ std::string render_report(const RunResult& result, std::size_t clusters) {
     os << "recovery latency         : " << latency.mean() << " s mean, "
        << latency.max() << " s max over " << latency.count()
        << " recoveries\n";
+    const auto& h = result.recovery_latency_us;
+    if (h.count() > 0) {
+      // Log2-bucket quantiles: the tail the mean hides when recoveries
+      // overlap.  Bucket resolution is a factor of two, which is enough to
+      // tell "one slow cascade" from "uniformly slow".
+      os << "recovery latency pcts    : p50 " << h.quantile(0.50) * 1e-6
+         << " s, p95 " << h.quantile(0.95) * 1e-6 << " s, p99 "
+         << h.quantile(0.99) * 1e-6 << " s (log2 buckets)\n";
+    }
   }
   os << "GC rounds                : " << result.counter("gc.rounds")
      << " (aborted: " << result.counter("gc.aborted") << ")\n";

@@ -7,6 +7,7 @@
 #include "fault/engine.hpp"
 #include "fed/federation.hpp"
 #include "hc3i/agent.hpp"
+#include "obs/sampler.hpp"
 #include "util/log.hpp"
 
 namespace hc3i::driver {
@@ -69,6 +70,17 @@ RunResult run_simulation(const RunOptions& opts, SimContext& ctx) {
   sim::Simulation sim(o.seed);
   stats::Registry registry;
   fed::Federation fed(sim, o.spec, registry);
+
+  // Observability: one Recording per run when enabled.  The recorder must
+  // be installed before build_agents (agents capture the pointer in their
+  // context); the sampler rides the ordinary event queue, so its ticks are
+  // part of the deterministic schedule.
+  std::shared_ptr<obs::Recording> recording;
+  if (o.trace || o.metrics_interval != SimTime::zero()) {
+    recording = std::make_shared<obs::Recording>();
+    recording->metrics_interval = o.metrics_interval;
+    if (o.trace) fed.set_recorder(&recording->recorder);
+  }
 
   app::Workload workload(sim, fed.topology(), o.spec.application, registry,
                          o.replay);
@@ -155,6 +167,13 @@ RunResult run_simulation(const RunOptions& opts, SimContext& ctx) {
     engine->arm();
   }
 
+  std::unique_ptr<obs::MetricsSampler> sampler;
+  if (recording && o.metrics_interval != SimTime::zero()) {
+    sampler = std::make_unique<obs::MetricsSampler>(
+        sim, registry, fed.network(), o.metrics_interval);
+    sampler->arm(horizon + o.drain);
+  }
+
   sim.run_until(horizon + o.drain);
   if (engine) engine->finalize();
 
@@ -175,7 +194,12 @@ RunResult run_simulation(const RunOptions& opts, SimContext& ctx) {
   registry.set("ledger.total_events", fed.ledger().total_events());
   if (engine) {
     result.fault_summary = engine->telemetry().summary();
+    result.recovery_latency_us = engine->telemetry().latency_histogram();
     result.incidents = engine->telemetry().take_incidents();
+  }
+  if (recording) {
+    if (sampler) recording->samples = sampler->take_samples();
+    result.obs = std::move(recording);
   }
   result.registry = registry;
   result.end_time = sim.now();

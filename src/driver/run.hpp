@@ -9,6 +9,7 @@
 // This is the paper's "Controller" thread (§5.1) in library form.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,8 @@
 #include "fault/telemetry.hpp"
 #include "hc3i/options.hpp"
 #include "hc3i/runtime.hpp"
+#include "obs/recording.hpp"
+#include "stats/accumulators.hpp"
 #include "stats/registry.hpp"
 #include "util/ids.hpp"
 #include "util/time.hpp"
@@ -68,6 +71,13 @@ struct RunOptions {
   /// Throw CheckFailure on any consistency violation (tests rely on it);
   /// when false, violations are only reported in the result.
   bool validate{true};
+  /// Collect the structured protocol trace (obs::Recorder threaded through
+  /// every agent; off = every emission site is one null-pointer test).
+  bool trace{false};
+  /// Sample the metrics time series every this much simulated time
+  /// (zero = off).  Reads counters via Registry::get() only, so arming the
+  /// sampler never adds rows to a counter dump.
+  SimTime metrics_interval{SimTime::zero()};
 };
 
 /// Everything a run produces.
@@ -81,6 +91,12 @@ struct RunResult {
   /// incident table; `has_residual` is false for failure-free runs.
   fault::CampaignSummary fault_summary;
   std::vector<std::string> violations;
+  /// Recovery-latency distribution (us, completed recoveries): feeds the
+  /// p50/p95/p99 columns the mean-only summaries cannot show.
+  stats::Log2Histogram recovery_latency_us;
+  /// Structured trace + metrics series; null unless RunOptions::trace or
+  /// metrics_interval enabled the observability layer.
+  std::shared_ptr<obs::Recording> obs;
   SimTime end_time{};
   std::uint64_t events_executed{0};
   std::uint64_t total_progress{0};

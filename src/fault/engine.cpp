@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "util/quantity.hpp"
 
 namespace hc3i::fault {
@@ -146,6 +147,11 @@ void CampaignEngine::finalize() { telemetry_.finalize(sim().now()); }
 
 void CampaignEngine::inject(NodeId victim, const char* source) {
   telemetry_.begin_incident(sim().now(), victim, cluster_of(victim), source);
+  // Every injection path (scripted, burst, MTBF stream, repeat offender,
+  // phase trigger) funnels through here, so one record catches the campaign
+  // decision with its source label; the federation emits the fault itself.
+  HC3I_OBS(fed_.recorder(), obs::RecordKind::kCampaignInject, sim().now(),
+           cluster_of(victim).v, victim.v, 0, 0, 0, source);
   fed_.inject_failure(victim);
 }
 

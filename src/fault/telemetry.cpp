@@ -136,6 +136,7 @@ void RecoveryTelemetry::on_recovery_complete(SimTime now, ClusterId cluster) {
   open_.erase(it);
   registry_.observe("fault.recovery_latency_s",
                     inc.recovery_latency().seconds());
+  latency_us_.add(static_cast<std::uint64_t>(inc.recovery_latency().ns / 1000));
   observe_cost(inc);
 }
 

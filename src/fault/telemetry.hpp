@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "proto/ledger.hpp"
+#include "stats/accumulators.hpp"
 #include "stats/registry.hpp"
 #include "util/ids.hpp"
 #include "util/time.hpp"
@@ -105,6 +106,13 @@ class RecoveryTelemetry {
   std::vector<Incident> take_incidents() { return std::move(incidents_); }
   /// Residual row + overlap high-water (valid once finalize() ran).
   CampaignSummary summary() const { return summary_; }
+  /// Recovery-latency distribution in microseconds (completed recoveries
+  /// only): the tail the mean in `fault.recovery_latency_s` hides under
+  /// overlapping incidents.  Standalone accumulator, never registry-hosted,
+  /// so counter dumps are untouched.
+  const stats::Log2Histogram& latency_histogram() const {
+    return latency_us_;
+  }
 
  private:
   /// Counter values the segment attribution diffs.
@@ -133,6 +141,7 @@ class RecoveryTelemetry {
   std::vector<std::size_t> open_;  ///< indices into incidents_, oldest first
   CostSnapshot last_{};            ///< zero-init: pre-campaign cost → residual
   CampaignSummary summary_{};
+  stats::Log2Histogram latency_us_;  ///< completed recovery latencies, us
 };
 
 }  // namespace hc3i::fault

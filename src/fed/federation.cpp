@@ -32,6 +32,7 @@ void Federation::build_agents(const proto::AgentFactory& factory,
     ctx.self = n;
     ctx.cluster = topo_.cluster_of(n);
     ctx.app = apps[i];
+    ctx.obs = recorder_;
     ctx.recovery_done = [this](ClusterId c) { recovery_complete(c); };
     agents_.push_back(factory(ctx));
     HC3I_CHECK(agents_.back() != nullptr, "agent factory returned null");
@@ -88,6 +89,7 @@ void Federation::inject_failure(NodeId victim) {
   registry_.inc("fault.injected");
   HC3I_TRACE(kProtocol, sim_.now(),
              "FAILURE node " << victim.v << " (cluster " << c.v << ")");
+  HC3I_OBS(recorder_, obs::RecordKind::kFailure, sim_.now(), c.v, victim.v, 0);
   network_.set_node_down(victim);
 
   const SimTime detect = spec_.timers.detection_delay;
@@ -97,14 +99,17 @@ void Federation::inject_failure(NodeId victim) {
     agent(coord).on_failure_detected(victim);
   });
   // The victim restarts from its neighbour's replica after the transfer.
-  sim_.schedule_after(detect + state_restore_delay(c), [this, victim] {
+  sim_.schedule_after(detect + state_restore_delay(c), [this, victim, c] {
     network_.set_node_up(victim);
     registry_.inc("fault.node_restored");
+    HC3I_OBS(recorder_, obs::RecordKind::kNodeRestored, sim_.now(), c.v,
+             victim.v, 0);
   });
 }
 
 void Federation::recovery_complete(ClusterId c) {
   HC3I_TRACE(kProtocol, sim_.now(), "RECOVERY complete (cluster " << c.v << ")");
+  HC3I_OBS(recorder_, obs::RecordKind::kRecoveryEnd, sim_.now(), c.v, 0, 0);
   registry_.inc("fault.recovery_complete");
   if (recovery_pending_[c.v]) {
     recovery_pending_[c.v] = 0;

@@ -33,6 +33,7 @@
 #include "config/spec.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 #include "proto/agent.hpp"
 #include "proto/ledger.hpp"
 #include "sim/simulation.hpp"
@@ -70,6 +71,13 @@ class Federation {
     recovery_listener_ = std::move(listener);
   }
 
+  /// Install the structured-trace recorder (driver-owned; null = off).
+  /// Must be called before build_agents so agents capture the pointer.
+  void set_recorder(obs::Recorder* rec) { recorder_ = rec; }
+  /// The installed recorder (null when observability is off); the campaign
+  /// engine emits its injection-source records through this.
+  obs::Recorder* recorder() const { return recorder_; }
+
   /// Accessors.
   proto::ProtocolAgent& agent(NodeId n);
   const net::Topology& topology() const { return topo_; }
@@ -105,6 +113,7 @@ class Federation {
   net::Network network_;
   proto::ConsistencyLedger ledger_;
   std::vector<std::unique_ptr<proto::ProtocolAgent>> agents_;
+  obs::Recorder* recorder_{nullptr};
   std::function<void(ClusterId)> recovery_listener_;
   std::vector<std::uint8_t> recovery_pending_;  ///< per cluster, 0/1
   std::uint32_t recoveries_in_flight_{0};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "proto/payload_pool.hpp"
 #include "util/log.hpp"
 
@@ -356,6 +357,9 @@ void Hc3iAgent::coordinator_begin_round(RoundReason reason) {
   HC3I_TRACE(kProtocol, now(),
              "C" << cluster().v << " CLC round " << active_round_id_
                  << (reason == RoundReason::kForced ? " (forced)" : " (timer)"));
+  HC3I_OBS(ctx_.obs, obs::RecordKind::kClcRoundBegin, now(), cluster().v,
+           self().v, active_round_id_,
+           reason == RoundReason::kForced ? 1 : 0);
   broadcast_control(cluster(), ControlSizes::kSmall, std::move(req),
                     /*include_self=*/true);
 }
@@ -394,6 +398,8 @@ void Hc3iAgent::handle_clc_request(const ClcRequest& m) {
   const std::uint64_t stall_us = static_cast<std::uint64_t>(stall.ns / 1000);
   stat(stat_ckpt_stall_, "ckpt.stall_us").inc(stall_us);
   named_stat(stat_g_ckpt_stall_, "ckpt.stall_us").inc(stall_us);
+  HC3I_OBS(ctx_.obs, obs::RecordKind::kCkptWrite, now(), cluster().v, self().v,
+           round_, bytes, static_cast<std::uint64_t>(stall.ns));
   const Incarnation round_inc = inc_;
   const std::uint64_t round_id = round_;
   ctx_.sim->schedule_after(stall, [this, round_inc, round_id] {
@@ -465,6 +471,8 @@ void Hc3iAgent::handle_clc_ack(const ClcAck& m) {
                       static_cast<std::uint32_t>(acks_received_),
                       static_cast<std::uint32_t>(parts_.size()));
   }
+  HC3I_OBS(ctx_.obs, obs::RecordKind::kClcAck, now(), cluster().v, m.node.v,
+           active_round_id_, acks_received_, parts_.size());
   if (acks_received_ == parts_.size()) coordinator_commit_round();
 }
 
@@ -529,6 +537,9 @@ void Hc3iAgent::coordinator_commit_round() {
   stat(stat_store_max_bytes_, "store.max_bytes").raise(store().storage_bytes());
   HC3I_TRACE(kProtocol, now(), "C" << cluster().v << " commit CLC sn=" << new_sn
                                    << " ddv=" << new_ddv.to_string());
+  HC3I_OBS(ctx_.obs, obs::RecordKind::kClcCommit, now(), cluster().v, self().v,
+           active_round_id_, static_cast<std::uint64_t>(new_sn),
+           round_reason_ == RoundReason::kForced ? 1 : 0);
 
   round_active_ = false;
   auto commit = proto::make_pooled<ClcCommit>();
@@ -628,6 +639,13 @@ void Hc3iAgent::rollback_cluster(proto::ClcRecord rec_arg, bool fault_origin) {
   HC3I_TRACE(kProtocol, now(), "C" << c.v << " ROLLBACK to sn=" << rec.sn
                                    << " inc=" << new_inc
                                    << (fault_origin ? " (fault)" : " (alert)"));
+  if (fault_origin) {
+    // Alert-triggered rollbacks piggyback on another cluster's recovery
+    // window; only the faulted cluster opens a recovery span (closed by
+    // Federation::recovery_complete).
+    HC3I_OBS(ctx_.obs, obs::RecordKind::kRollbackBegin, now(), c.v, self().v, 0,
+             static_cast<std::uint64_t>(rec.sn));
+  }
 
   // 1. Drop this cluster's stale intra-cluster traffic (app and control) —
   //    except rollback-alert relays: they carry epoch-independent knowledge
@@ -678,6 +696,9 @@ void Hc3iAgent::rollback_cluster(proto::ClcRecord rec_arg, bool fault_origin) {
     const std::uint64_t read_us = static_cast<std::uint64_t>(read.ns / 1000);
     stat(stat_recovery_read_, "recovery.read_us").inc(read_us);
     named_stat(stat_g_recovery_read_, "recovery.read_us").inc(read_us);
+    HC3I_OBS(ctx_.obs, obs::RecordKind::kChainRead, now(), c.v, self().v,
+             static_cast<std::uint64_t>(rec.sn), total_bytes,
+             static_cast<std::uint64_t>(read.ns));
     resume_delay += read;
   }
   ctx_.sim->schedule_after(
@@ -824,6 +845,8 @@ void Hc3iAgent::on_gc_timer() {
   gc_responses_ = 0;
   ctx_.registry->inc("gc.rounds");
   HC3I_TRACE(kProtocol, now(), "GC round " << gc_round_ << " start");
+  HC3I_OBS(ctx_.obs, obs::RecordKind::kGcRoundBegin, now(), cluster().v,
+           self().v, gc_round_);
   auto req = proto::make_pooled<GcRequest>();
   req->gc_round = gc_round_;
   for (std::size_t k = 0; k < rt_.cluster_count(); ++k) {
@@ -895,6 +918,8 @@ void Hc3iAgent::handle_gc_collect(const GcCollect& m) {
   stat(stat_gc_removed_, "gc.clcs_removed").inc(removed);
   HC3I_TRACE(kProtocol, now(), "C" << cluster().v << " GC prune: " << before
                                    << " -> " << after);
+  HC3I_OBS(ctx_.obs, obs::RecordKind::kGcPrune, now(), cluster().v, self().v,
+           m.gc_round, removed);
   auto prune = proto::make_pooled<GcPrune>();
   prune->min_sns = m.min_sns;
   broadcast_control(cluster(),

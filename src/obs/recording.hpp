@@ -1,0 +1,21 @@
+#pragma once
+
+// The bundle of everything one run's observability layer produced: the
+// structured trace (with its derived round/stall distributions) plus the
+// periodic metrics series.  Owned by driver::RunResult via shared_ptr so
+// results stay cheaply copyable; null when observability was off.
+
+#include <vector>
+
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+
+namespace hc3i::obs {
+
+struct Recording {
+  Recorder recorder;
+  std::vector<MetricsSample> samples;
+  SimTime metrics_interval{SimTime::zero()};
+};
+
+}  // namespace hc3i::obs

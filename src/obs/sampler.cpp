@@ -1,0 +1,36 @@
+#include "obs/sampler.hpp"
+
+#include "util/check.hpp"
+
+namespace hc3i::obs {
+
+MetricsSampler::MetricsSampler(sim::Simulation& sim,
+                               const stats::Registry& registry,
+                               const net::Network& network, SimTime interval)
+    : sim_(sim), registry_(registry), network_(network), interval_(interval) {
+  HC3I_CHECK(interval.ns >= 0, "MetricsSampler: negative interval");
+}
+
+void MetricsSampler::arm(SimTime until) {
+  if (interval_ == SimTime::zero()) return;
+  sim_.schedule_after(interval_, [this, until] { tick(until); });
+}
+
+void MetricsSampler::tick(SimTime until) {
+  MetricsSample s;
+  s.t = sim_.now();
+  s.clc_forced = registry_.get("clc.forced");
+  s.clc_total = registry_.get("clc.total");
+  s.in_flight = network_.in_flight_count();
+  s.app_delivered = registry_.get("app.delivered");
+  s.log_resent_bytes = registry_.get("log.resent_bytes");
+  s.ckpt_bytes_written = registry_.get("ckpt.bytes_written");
+  s.ckpt_stall_us = registry_.get("ckpt.stall_us");
+  s.recovery_read_us = registry_.get("recovery.read_us");
+  samples_.push_back(s);
+  if (sim_.now() + interval_ <= until) {
+    sim_.schedule_after(interval_, [this, until] { tick(until); });
+  }
+}
+
+}  // namespace hc3i::obs

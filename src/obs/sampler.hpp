@@ -1,0 +1,63 @@
+#pragma once
+
+// Periodic metrics sampler: turns end-of-run counter totals into time
+// series by snapshotting a fixed set of stats::Registry counters (plus the
+// network's live in-flight count) on the simulated clock.
+//
+// Golden-safety: the sampler reads counters only through Registry::get(),
+// which never interns a name, so arming it cannot add rows to a
+// --dump-counters golden.  Its tick events ride the ordinary event queue,
+// so two same-seed runs sample identical values at identical instants and
+// the TSV export is byte-reproducible.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+#include "stats/registry.hpp"
+#include "util/time.hpp"
+
+namespace hc3i::obs {
+
+/// One snapshot row.  Cumulative counter values as of `t` (rates are the
+/// reader's derivative); `in_flight` is the instantaneous live count.
+struct MetricsSample {
+  SimTime t;
+  std::uint64_t clc_forced{0};
+  std::uint64_t clc_total{0};
+  std::uint64_t in_flight{0};
+  std::uint64_t app_delivered{0};
+  std::uint64_t log_resent_bytes{0};
+  std::uint64_t ckpt_bytes_written{0};
+  std::uint64_t ckpt_stall_us{0};
+  std::uint64_t recovery_read_us{0};
+};
+
+/// Samples every `interval` of simulated time from t=interval until the
+/// given horizon (inclusive).  Construct before the run, arm() once, read
+/// samples() after the run; the sampler must not outlive the simulation it
+/// is armed on.
+class MetricsSampler {
+ public:
+  MetricsSampler(sim::Simulation& sim, const stats::Registry& registry,
+                 const net::Network& network, SimTime interval);
+
+  /// Schedule the tick chain up to `until` (no-op if interval is zero).
+  void arm(SimTime until);
+
+  const std::vector<MetricsSample>& samples() const { return samples_; }
+  /// Move the collected series out (the sampler is then spent).
+  std::vector<MetricsSample> take_samples() { return std::move(samples_); }
+
+ private:
+  void tick(SimTime until);
+
+  sim::Simulation& sim_;
+  const stats::Registry& registry_;
+  const net::Network& network_;
+  SimTime interval_;
+  std::vector<MetricsSample> samples_;
+};
+
+}  // namespace hc3i::obs

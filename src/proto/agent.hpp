@@ -13,6 +13,7 @@
 #include "net/message.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 #include "proto/ledger.hpp"
 #include "proto/snapshot.hpp"
 #include "sim/simulation.hpp"
@@ -30,6 +31,9 @@ struct AgentContext {
   NodeId self{};
   ClusterId cluster{};
   AppHandle* app{nullptr};  ///< the local process (owned by the workload)
+  /// Structured trace recorder; null when observability is off (the common
+  /// case — every emission site is then a single pointer test, HC3I_OBS).
+  obs::Recorder* obs{nullptr};
   /// Signals the failure injector that the recovery triggered by the last
   /// detected failure has completed cluster-locally (used to honour the
   /// paper's one-fault-at-a-time assumption).

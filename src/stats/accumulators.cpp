@@ -1,6 +1,7 @@
 #include "stats/accumulators.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 namespace hc3i::stats {
@@ -80,6 +81,39 @@ double Histogram::quantile(double q) const {
     cum = next;
   }
   return hi_;
+}
+
+void Log2Histogram::add(std::uint64_t v) {
+  ++total_;
+  ++counts_[std::bit_width(v)];  // bit_width(0) == 0: zeros get bucket 0
+}
+
+std::uint64_t Log2Histogram::bucket_count(std::size_t i) const {
+  HC3I_CHECK(i < counts_.size(), "Log2Histogram: bucket index out of range");
+  return counts_[i];
+}
+
+double Log2Histogram::quantile(double q) const {
+  HC3I_CHECK(q >= 0.0 && q <= 1.0, "Log2Histogram: quantile must be in [0,1]");
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      if (i == 0) return 0.0;
+      const double lo = std::ldexp(1.0, static_cast<int>(i) - 1);
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return lo + frac * lo;  // bucket spans [lo, 2*lo)
+    }
+    cum = next;
+  }
+  return std::ldexp(1.0, 63);  // unreachable with total_ > 0
+}
+
+void Log2Histogram::merge(const Log2Histogram& other) {
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
 }
 
 }  // namespace hc3i::stats

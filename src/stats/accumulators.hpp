@@ -7,6 +7,7 @@
 // min/max, and a fixed-bin histogram for distributions (rollback depth, CLC
 // intervals, message latency).
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -76,6 +77,36 @@ class Histogram {
   double lo_, hi_, width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t underflow_{0}, overflow_{0}, total_{0};
+};
+
+/// Log2-bucket histogram over non-negative integer observations (latencies
+/// in microseconds, byte counts): bucket 0 holds exact zeros, bucket i
+/// (i >= 1) holds values in [2^(i-1), 2^i).  Exponential buckets cover the
+/// full uint64 range in 65 counters with no configuration, which is what a
+/// tail-latency accumulator needs — p99 of recovery latency spans orders of
+/// magnitude between a quiet run and an overlapping-burst campaign.
+/// Integer-only state keeps quantiles bit-reproducible across platforms.
+class Log2Histogram {
+ public:
+  /// Record one observation.
+  void add(std::uint64_t v);
+
+  /// Number of observations recorded.
+  std::uint64_t count() const { return total_; }
+  /// Count in bucket i (0 = exact zeros, i = [2^(i-1), 2^i)).
+  std::uint64_t bucket_count(std::size_t i) const;
+  static constexpr std::size_t kBuckets = 65;
+
+  /// Value below which `q` (in [0,1]) of the mass lies, by linear
+  /// interpolation within the containing bucket (0 when empty).
+  double quantile(double q) const;
+
+  /// Merge another histogram into this one (bucket-wise addition).
+  void merge(const Log2Histogram& other);
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_{0};
 };
 
 /// An (x, y) series, e.g. a metric sampled against a swept parameter.

@@ -8,17 +8,30 @@ namespace {
 // lint: static-ok(trace-config registry: installed by tests via
 // Trace::set_sink outside any run, read-only on the emit path)
 TraceSink g_sink;  // empty => stderr
+
+// Reused line buffer: once it has grown to the longest line seen, emitting
+// allocates nothing (the bench's alloc-counter audit asserts steady-state
+// emission is allocation-free).  Tracing is single-threaded like the
+// simulator itself, and the contents never outlive the call.
+// lint: static-ok(scratch line buffer, see above)
+std::string g_line;
 }  // namespace
 
 void Trace::set_sink(TraceSink sink) { g_sink = std::move(sink); }
 
 void Trace::emit(TraceLevel lv, SimTime t, const std::string& line) {
   if (level() < lv) return;
-  const std::string full = "[" + to_string(t) + "] " + line;
+  char ts[kTimeBufSize];
+  const std::size_t ts_len = format_time(t, ts, sizeof ts);
+  g_line.clear();
+  g_line += '[';
+  g_line.append(ts, ts_len);
+  g_line += "] ";
+  g_line += line;
   if (g_sink) {
-    g_sink(full);
+    g_sink(g_line);
   } else {
-    std::fprintf(stderr, "%s\n", full.c_str());
+    std::fprintf(stderr, "%s\n", g_line.c_str());
   }
 }
 

@@ -15,33 +15,42 @@ SimTime from_seconds_f(double s) {
   return SimTime{static_cast<std::int64_t>(std::llround(ns))};
 }
 
-std::string to_string(SimTime t) {
-  if (t.is_infinite()) return "inf";
-  if (t.ns == 0) return "0";
-  char buf[64];
+std::size_t format_time(SimTime t, char* buf, std::size_t cap) {
+  HC3I_CHECK(cap >= kTimeBufSize, "format_time: buffer too small");
+  int n = 0;
   const std::int64_t ns = t.ns;
-  if (ns < 1'000) {
-    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  if (t.is_infinite()) {
+    n = std::snprintf(buf, cap, "inf");
+  } else if (ns == 0) {
+    n = std::snprintf(buf, cap, "0");
+  } else if (ns < 1'000) {
+    n = std::snprintf(buf, cap, "%lldns", static_cast<long long>(ns));
   } else if (ns < 1'000'000) {
-    std::snprintf(buf, sizeof buf, "%.3gus", static_cast<double>(ns) / 1e3);
+    n = std::snprintf(buf, cap, "%.3gus", static_cast<double>(ns) / 1e3);
   } else if (ns < 1'000'000'000) {
-    std::snprintf(buf, sizeof buf, "%.3gms", static_cast<double>(ns) / 1e6);
+    n = std::snprintf(buf, cap, "%.3gms", static_cast<double>(ns) / 1e6);
   } else if (ns < 60LL * 1'000'000'000) {
-    std::snprintf(buf, sizeof buf, "%.4gs", static_cast<double>(ns) / 1e9);
+    n = std::snprintf(buf, cap, "%.4gs", static_cast<double>(ns) / 1e9);
   } else {
     const std::int64_t total_s = ns / 1'000'000'000;
     const std::int64_t h = total_s / 3600;
     const std::int64_t m = (total_s % 3600) / 60;
     const double s = static_cast<double>(ns % 60'000'000'000) / 1e9;
     if (h > 0) {
-      std::snprintf(buf, sizeof buf, "%lldh%02lldm%04.1fs",
-                    static_cast<long long>(h), static_cast<long long>(m), s);
+      n = std::snprintf(buf, cap, "%lldh%02lldm%04.1fs",
+                        static_cast<long long>(h), static_cast<long long>(m),
+                        s);
     } else {
-      std::snprintf(buf, sizeof buf, "%lldm%04.1fs", static_cast<long long>(m),
-                    s);
+      n = std::snprintf(buf, cap, "%lldm%04.1fs", static_cast<long long>(m),
+                        s);
     }
   }
-  return buf;
+  return n > 0 ? static_cast<std::size_t>(n) : 0;
+}
+
+std::string to_string(SimTime t) {
+  char buf[kTimeBufSize];
+  return std::string(buf, format_time(t, buf, sizeof buf));
 }
 
 }  // namespace hc3i

@@ -8,6 +8,7 @@
 // relies on.  The paper's scenarios span 10 simulated hours (3.6e13 ns), far
 // inside the int64 range.
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -72,5 +73,14 @@ SimTime from_seconds_f(double s);
 
 /// Render a time/duration compactly for traces: "1h02m03.5s", "150us", "0".
 std::string to_string(SimTime t);
+
+/// Buffer size that fits every format_time() rendering (NUL included).
+inline constexpr std::size_t kTimeBufSize = 64;
+
+/// Format `t` exactly as to_string() would, but into a caller-provided
+/// buffer of at least kTimeBufSize bytes; returns the length written
+/// (excluding the NUL).  The allocation-free flavour the trace hot path
+/// uses (Trace::emit reuses one line buffer per process).
+std::size_t format_time(SimTime t, char* buf, std::size_t cap);
 
 }  // namespace hc3i

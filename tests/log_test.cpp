@@ -1,0 +1,143 @@
+// Unit tests for util/log: level gating, the enabled() guard, sink
+// install/restore, and the HC3I_TRACE macro's skip-below-level contract.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/time.hpp"
+
+namespace hc3i {
+namespace {
+
+/// Saves and restores the global trace configuration so these tests cannot
+/// leak a level or sink into the rest of the suite.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = Trace::level();
+    Trace::set_sink([this](const std::string& line) {
+      lines_.push_back(line);
+    });
+  }
+  void TearDown() override {
+    Trace::set_level(saved_level_);
+    Trace::set_sink({});  // restore stderr
+  }
+
+  std::vector<std::string> lines_;
+
+ private:
+  TraceLevel saved_level_{};
+};
+
+TEST_F(LogTest, EmitRespectsLevelGating) {
+  Trace::set_level(TraceLevel::kStats);
+  Trace::emit(TraceLevel::kProtocol, seconds(1), "hidden");
+  Trace::emit(TraceLevel::kAction, seconds(1), "also hidden");
+  EXPECT_TRUE(lines_.empty());
+
+  Trace::emit(TraceLevel::kStats, seconds(1), "visible");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0], "[1s] visible");
+}
+
+TEST_F(LogTest, HigherLevelsIncludeLowerOnes) {
+  Trace::set_level(TraceLevel::kAction);
+  Trace::emit(TraceLevel::kStats, SimTime::zero(), "a");
+  Trace::emit(TraceLevel::kProtocol, SimTime::zero(), "b");
+  Trace::emit(TraceLevel::kAction, SimTime::zero(), "c");
+  EXPECT_EQ(lines_.size(), 3u);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Trace::set_level(TraceLevel::kOff);
+  Trace::emit(TraceLevel::kStats, SimTime::zero(), "x");
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LogTest, EnabledMatchesLevelOrdering) {
+  Trace::set_level(TraceLevel::kProtocol);
+  EXPECT_TRUE(Trace::enabled(TraceLevel::kStats));
+  EXPECT_TRUE(Trace::enabled(TraceLevel::kProtocol));
+  EXPECT_FALSE(Trace::enabled(TraceLevel::kAction));
+
+  Trace::set_level(TraceLevel::kOff);
+  EXPECT_FALSE(Trace::enabled(TraceLevel::kStats));
+}
+
+TEST_F(LogTest, PrefixesSimTimeLikeToString) {
+  Trace::set_level(TraceLevel::kAction);
+  const SimTime t = minutes(90) + milliseconds(2500);
+  Trace::emit(TraceLevel::kAction, t, "payload");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0], "[" + to_string(t) + "] payload");
+}
+
+TEST_F(LogTest, SinkInstallAndRestore) {
+  Trace::set_level(TraceLevel::kStats);
+  std::vector<std::string> other;
+  Trace::set_sink([&other](const std::string& line) {
+    other.push_back(line);
+  });
+  Trace::emit(TraceLevel::kStats, SimTime::zero(), "redirected");
+  EXPECT_TRUE(lines_.empty());
+  ASSERT_EQ(other.size(), 1u);
+  EXPECT_EQ(other[0], "[0] redirected");
+
+  // Re-installing the fixture sink routes lines back here; the dangling
+  // reference to `other` must not be invoked afterwards.
+  Trace::set_sink([this](const std::string& line) {
+    lines_.push_back(line);
+  });
+  Trace::emit(TraceLevel::kStats, SimTime::zero(), "back");
+  EXPECT_EQ(other.size(), 1u);
+  EXPECT_EQ(lines_.size(), 1u);
+}
+
+TEST_F(LogTest, MacroSkipsFormattingBelowLevel) {
+  Trace::set_level(TraceLevel::kStats);
+  int evaluations = 0;
+  const auto count = [&evaluations]() {
+    ++evaluations;
+    return "formatted";
+  };
+  HC3I_TRACE(kProtocol, SimTime::zero(), count());
+  EXPECT_EQ(evaluations, 0);  // stream expression never evaluated
+  EXPECT_TRUE(lines_.empty());
+
+  Trace::set_level(TraceLevel::kProtocol);
+  HC3I_TRACE(kProtocol, seconds(2), count() << " now");
+  EXPECT_EQ(evaluations, 1);
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0], "[2s] formatted now");
+}
+
+TEST_F(LogTest, EmitReusesBufferAcrossCalls) {
+  Trace::set_level(TraceLevel::kStats);
+  // A long line followed by a short one: the reused buffer must not carry
+  // stale tail bytes into the shorter rendering.
+  Trace::emit(TraceLevel::kStats, seconds(1),
+              std::string(128, 'x'));
+  Trace::emit(TraceLevel::kStats, seconds(1), "short");
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_EQ(lines_[1], "[1s] short");
+}
+
+TEST(FormatTime, MatchesToString) {
+  const SimTime cases[] = {SimTime::zero(),   nanoseconds(5),
+                           microseconds(150), milliseconds(3),
+                           seconds(42),       minutes(5) + seconds(30),
+                           hours(2) + minutes(3) + milliseconds(4500),
+                           SimTime::infinity()};
+  for (const SimTime t : cases) {
+    char buf[kTimeBufSize];
+    const std::size_t n = format_time(t, buf, sizeof buf);
+    EXPECT_EQ(std::string(buf, n), to_string(t));
+  }
+}
+
+}  // namespace
+}  // namespace hc3i

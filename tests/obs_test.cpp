@@ -1,0 +1,258 @@
+// Tests for the observability layer: Log2Histogram quantiles, the chunked
+// trace buffer, the Recorder's derived distributions, exporter formats, and
+// the end-to-end determinism contract (two same-seed traced runs export
+// byte-identical JSON/TSV; untraced runs carry no Recording at all).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "config/presets.hpp"
+#include "driver/report.hpp"
+#include "driver/run.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "stats/accumulators.hpp"
+
+namespace hc3i::testing {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Log2Histogram
+// ---------------------------------------------------------------------------
+
+TEST(Log2Histogram, EmptyQuantileIsZero) {
+  stats::Log2Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Log2Histogram, ZerosLandInBucketZero) {
+  stats::Log2Histogram h;
+  h.add(0);
+  h.add(0);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(Log2Histogram, BucketBoundaries) {
+  stats::Log2Histogram h;
+  h.add(1);    // bucket 1: [1, 2)
+  h.add(2);    // bucket 2: [2, 4)
+  h.add(3);    // bucket 2
+  h.add(4);    // bucket 3: [4, 8)
+  h.add(255);  // bucket 8: [128, 256)
+  h.add(256);  // bucket 9: [256, 512)
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.bucket_count(8), 1u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+  EXPECT_EQ(h.count(), 6u);
+}
+
+TEST(Log2Histogram, QuantilesStayInsideContainingBucket) {
+  stats::Log2Histogram h;
+  for (int i = 0; i < 90; ++i) h.add(10);    // bucket 4: [8, 16)
+  for (int i = 0; i < 10; ++i) h.add(1000);  // bucket 10: [512, 1024)
+  const double p50 = h.quantile(0.50);
+  EXPECT_GE(p50, 8.0);
+  EXPECT_LT(p50, 16.0);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LT(p99, 1024.0);
+  EXPECT_LE(h.quantile(0.05), p50);
+  EXPECT_LE(p50, p99);
+}
+
+TEST(Log2Histogram, MergeAddsBucketwise) {
+  stats::Log2Histogram a, b;
+  a.add(10);
+  b.add(10);
+  b.add(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.bucket_count(4), 2u);
+  EXPECT_EQ(a.bucket_count(10), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// TraceBuffer / Recorder
+// ---------------------------------------------------------------------------
+
+TEST(TraceBuffer, PreservesOrderAcrossChunks) {
+  obs::TraceBuffer buf;
+  const std::size_t n = obs::TraceBuffer::kChunkCap * 2 + 17;
+  for (std::size_t i = 0; i < n; ++i) {
+    obs::TraceRecord r;
+    r.t = nanoseconds(static_cast<std::int64_t>(i));
+    r.id = i;
+    buf.push(r);
+  }
+  EXPECT_EQ(buf.size(), n);
+  std::size_t expect = 0;
+  buf.for_each([&](const obs::TraceRecord& r) {
+    EXPECT_EQ(r.id, expect);
+    ++expect;
+  });
+  EXPECT_EQ(expect, n);
+}
+
+TEST(Recorder, DerivesRoundDurationFromBeginCommit) {
+  obs::Recorder rec;
+  rec.emit(obs::RecordKind::kClcRoundBegin, seconds(10), 0, 0, 1);
+  rec.emit(obs::RecordKind::kClcCommit, seconds(10) + milliseconds(8), 0, 0, 1,
+           2);
+  EXPECT_EQ(rec.round_us().count(), 1u);
+  // 8ms = 8000us lands in bucket [8192/2, 8192) = [4096, 8192).
+  const double p50 = rec.round_us().quantile(0.5);
+  EXPECT_GE(p50, 4096.0);
+  EXPECT_LT(p50, 8192.0);
+  // A commit with no matching begin (other cluster) records nothing.
+  rec.emit(obs::RecordKind::kClcCommit, seconds(11), 1, 0, 1, 2);
+  EXPECT_EQ(rec.round_us().count(), 1u);
+}
+
+TEST(Recorder, DerivesStallFromStorageRecords) {
+  obs::Recorder rec;
+  rec.emit(obs::RecordKind::kCkptWrite, seconds(1), 0, 3, 1, 4096,
+           2'000'000);  // 2ms stall
+  rec.emit(obs::RecordKind::kChainRead, seconds(2), 0, 3, 1, 4096,
+           500'000);  // 0.5ms read
+  EXPECT_EQ(rec.stall_us().count(), 2u);
+  EXPECT_EQ(rec.records().size(), 2u);
+}
+
+TEST(RecordKinds, AllHaveLabels) {
+  for (int k = 0; k <= static_cast<int>(obs::RecordKind::kCampaignInject);
+       ++k) {
+    const char* label = obs::to_label(static_cast<obs::RecordKind>(k));
+    ASSERT_NE(label, nullptr);
+    EXPECT_GT(std::string(label).size(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(Export, TraceJsonShapeAndSpanPairing) {
+  obs::Recording rec;
+  rec.recorder.emit(obs::RecordKind::kClcRoundBegin, seconds(1), 0, 0, 1, 1);
+  rec.recorder.emit(obs::RecordKind::kClcAck, seconds(1) + milliseconds(1), 0,
+                    2, 1, 1, 3);
+  rec.recorder.emit(obs::RecordKind::kClcCommit, seconds(2), 0, 0, 1, 5, 1);
+  rec.recorder.emit(obs::RecordKind::kRollbackBegin, seconds(3), 1, 0, 0, 7);
+  rec.recorder.emit(obs::RecordKind::kRecoveryEnd, seconds(4), 1, 0, 0);
+  const std::string json = obs::trace_json(rec);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // The async span opens and closes under the same name.
+  EXPECT_NE(json.find("\"name\":\"clc_round\",\"cat\":\"clc\",\"ph\":\"b\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"clc_round\",\"cat\":\"clc\",\"ph\":\"e\""),
+            std::string::npos);
+  EXPECT_NE(
+      json.find("\"name\":\"recovery\",\"cat\":\"recovery\",\"ph\":\"b\""),
+      std::string::npos);
+  EXPECT_NE(
+      json.find("\"name\":\"recovery\",\"cat\":\"recovery\",\"ph\":\"e\""),
+      std::string::npos);
+  // Timestamps are integer-derived microseconds: 1s -> 1000000.000.
+  EXPECT_NE(json.find("\"ts\":1000000.000"), std::string::npos);
+}
+
+TEST(Export, MetricsTsvHeaderAndRows) {
+  obs::Recording rec;
+  obs::MetricsSample s;
+  s.t = seconds(30);
+  s.clc_total = 4;
+  s.in_flight = 2;
+  rec.samples.push_back(s);
+  const std::string tsv = obs::metrics_tsv(rec);
+  EXPECT_EQ(tsv.rfind("time_s\t", 0), 0u);
+  EXPECT_NE(tsv.find("\n30.000000000\t0\t4\t2\t"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End to end through the driver
+// ---------------------------------------------------------------------------
+
+driver::RunOptions obs_opts() {
+  driver::RunOptions opts;
+  opts.spec = config::small_test_spec(2, 3);
+  opts.spec.application.total_time = minutes(30);
+  opts.spec.timers.gc_period = minutes(12);
+  opts.scripted_failures.push_back({minutes(20), NodeId{1}});
+  opts.trace = true;
+  opts.metrics_interval = minutes(5);
+  return opts;
+}
+
+TEST(ObsEndToEnd, OffMeansNoRecording) {
+  driver::RunOptions opts = obs_opts();
+  opts.trace = false;
+  opts.metrics_interval = SimTime::zero();
+  const auto result = driver::run_simulation(opts);
+  EXPECT_EQ(result.obs, nullptr);
+}
+
+TEST(ObsEndToEnd, TracedRunRecordsProtocolActivity) {
+  const auto result = driver::run_simulation(obs_opts());
+  ASSERT_NE(result.obs, nullptr);
+  EXPECT_GT(result.obs->recorder.records().size(), 0u);
+  EXPECT_GT(result.obs->recorder.round_us().count(), 0u);
+  EXPECT_FALSE(result.obs->samples.empty());
+  // The failure at t=20min shows up as fault records.
+  bool saw_failure = false, saw_recovery_end = false;
+  result.obs->recorder.records().for_each([&](const obs::TraceRecord& r) {
+    saw_failure = saw_failure || r.kind == obs::RecordKind::kFailure;
+    saw_recovery_end =
+        saw_recovery_end || r.kind == obs::RecordKind::kRecoveryEnd;
+  });
+  EXPECT_TRUE(saw_failure);
+  EXPECT_TRUE(saw_recovery_end);
+  // The recovery-latency histogram feeds the report's percentile line.
+  EXPECT_GT(result.recovery_latency_us.count(), 0u);
+  const std::string report = driver::render_report(result, 2);
+  EXPECT_NE(report.find("recovery latency pcts"), std::string::npos);
+}
+
+TEST(ObsEndToEnd, SameSeedExportsAreByteIdentical) {
+  const auto a = driver::run_simulation(obs_opts());
+  const auto b = driver::run_simulation(obs_opts());
+  ASSERT_NE(a.obs, nullptr);
+  ASSERT_NE(b.obs, nullptr);
+  EXPECT_EQ(obs::trace_json(*a.obs), obs::trace_json(*b.obs));
+  EXPECT_EQ(obs::metrics_tsv(*a.obs), obs::metrics_tsv(*b.obs));
+}
+
+TEST(ObsEndToEnd, TracingDoesNotPerturbTheRun) {
+  // The observability layer must be a pure observer: counters (and thus
+  // goldens) are identical with and without it.
+  driver::RunOptions off = obs_opts();
+  off.trace = false;
+  off.metrics_interval = SimTime::zero();
+  const auto traced = driver::run_simulation(obs_opts());
+  const auto plain = driver::run_simulation(off);
+  // Sampler ticks do add events to the queue, so compare counters
+  // (behaviour), not the executed-event census.
+  EXPECT_EQ(driver::render_counters_csv(traced),
+            driver::render_counters_csv(plain));
+  EXPECT_EQ(traced.end_time, plain.end_time);
+}
+
+TEST(ObsEndToEnd, MetricsSamplesAreMonotone) {
+  const auto result = driver::run_simulation(obs_opts());
+  ASSERT_NE(result.obs, nullptr);
+  const auto& samples = result.obs->samples;
+  ASSERT_GT(samples.size(), 1u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GT(samples[i].t, samples[i - 1].t);
+    EXPECT_GE(samples[i].clc_total, samples[i - 1].clc_total);
+    EXPECT_GE(samples[i].app_delivered, samples[i - 1].app_delivered);
+  }
+}
+
+}  // namespace
+}  // namespace hc3i::testing

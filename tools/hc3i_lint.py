@@ -32,6 +32,15 @@ enforces):
                  state in src/ outside the arena/registry allowlist — the
                  sharded runner's no-sharing claim, statically.  Allowlisted
                  sites are tagged ``// lint: static-ok(<reason>)``.
+  trace-guarded  every trace emission site in src/ must go through its
+                 self-guarding macro: HC3I_TRACE checks the level before
+                 formatting, HC3I_OBS null-tests the recorder pointer.  A
+                 raw ``Trace::emit(...)`` formats unconditionally and a raw
+                 ``obs->emit(...)`` crashes when tracing is off; both defeat
+                 the zero-cost-when-off contract.  The implementation homes
+                 (src/obs/, src/util/log.hpp, src/util/log.cpp) are
+                 excluded; sanctioned raw calls elsewhere are tagged
+                 ``// lint: trace-ok(<reason>)``.
 
 Suppression, two mechanisms, both reason-carrying:
 
@@ -73,6 +82,7 @@ RULES = {
     "det-ptrkey": "pointer key / address-derived value",
     "check-pure": "side effect inside HC3I_CHECK/assert argument",
     "own-static": "mutable static/thread_local/global state",
+    "trace-guarded": "unguarded trace emission (use HC3I_TRACE/HC3I_OBS)",
 }
 
 # Tag suffix "unordered-ok(...)" -> rule id.
@@ -82,18 +92,22 @@ TAG_FOR_RULE = {
     "det-ptrkey": "ptrkey-ok",
     "check-pure": "check-ok",
     "own-static": "static-ok",
+    "trace-guarded": "trace-ok",
 }
 RULE_FOR_TAG = {v: k for k, v in TAG_FOR_RULE.items()}
 
 # Which top-level dirs each rule scans.  own-static is src-only by design:
 # examples and benches are drivers, their globals (arg parsing, alloc
-# counters) are not simulation state.
+# counters) are not simulation state.  trace-guarded is src-only too:
+# examples/benches run at a level they set themselves, so a raw emit there
+# is a driver choice, not a hot-path hazard.
 RULE_SCOPES = {
     "det-wallclock": ("src", "examples", "bench"),
     "det-unordered": ("src", "examples", "bench"),
     "det-ptrkey": ("src", "examples", "bench"),
     "check-pure": ("src", "examples", "bench"),
     "own-static": ("src",),
+    "trace-guarded": ("src",),
 }
 
 CXX_EXTS = (".cpp", ".hpp", ".cc", ".h", ".cxx", ".hxx")
@@ -288,6 +302,31 @@ MUTATING_CALL_RE = re.compile(
     r"(?:\.|->)\s*(?:" + "|".join(MUTATING_CALLS) + r"|set_\w+|add_\w+"
     r"|fetch_\w+|mark_\w+|bump\w*|next\w*)\s*\(")
 CHECK_HEAD_RE = re.compile(r"\b(?:HC3I_CHECK|assert)\s*\(")
+
+# Trace emission: a qualified Trace::emit call, or a member emit(...) call
+# (the only emit-named members in src/ are the trace sinks: hc3i::Trace and
+# obs::Recorder).  The macro bodies themselves live in the excluded homes,
+# so every properly guarded site is invisible to this scan.
+TRACE_EMIT_RES = (
+    re.compile(r"\bTrace\s*::\s*emit\s*\("),
+    re.compile(r"(?:\.|->)\s*emit\s*\("),
+)
+# Implementation homes: the guard macros and the emit definitions live
+# here; a raw call inside them IS the mechanism, not a bypass.
+TRACE_EMIT_HOMES = ("src/util/log.hpp", "src/util/log.cpp")
+TRACE_EMIT_HOME_DIRS = ("src/obs/",)
+
+
+def scan_trace_guarded(stripped_lines, out, path):
+    if path in TRACE_EMIT_HOMES:
+        return
+    if any(path.startswith(d) for d in TRACE_EMIT_HOME_DIRS):
+        return
+    for i, line in enumerate(stripped_lines, start=1):
+        for rex in TRACE_EMIT_RES:
+            if rex.search(line):
+                out.append(Finding("trace-guarded", path, i, line))
+                break
 
 
 def scan_wallclock(stripped_lines, out, path):
@@ -549,6 +588,8 @@ def scan_text(relpath, text, engine="regex", clang_ctx=None, abspath=None):
         scan_check_pure(stripped, line_of_offset, findings, relpath)
     if top in RULE_SCOPES["own-static"]:
         scan_own_static(stripped_lines, findings, relpath)
+    if top in RULE_SCOPES["trace-guarded"]:
+        scan_trace_guarded(stripped_lines, findings, relpath)
 
     if engine == "clang" and clang_ctx is not None and abspath:
         cindex, index = clang_ctx
